@@ -1,0 +1,41 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+module name never collides with the test-suite conftest)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.suite import SUITE, suite_by_name
+
+#: Representative subset: every family, both size buckets, both AP buckets.
+SUBSET = [
+    "mesh2d-s",
+    "mesh2d-xl",
+    "mesh3d-m",
+    "mesh3d-xl",
+    "band-narrow",
+    "rand-mid",
+    "rand-large",
+    "chain-pure",
+    "blocks-many",
+    "power-soft",
+    "kite-small",
+    "arrow-many",
+]
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_specs():
+    """Dataset for the bench session: 12-matrix subset, or all 34 with
+    ``HDAGG_BENCH_FULL=1``."""
+    if os.environ.get("HDAGG_BENCH_FULL"):
+        return list(SUITE)
+    by_name = suite_by_name()
+    return [by_name[n] for n in SUBSET]
+
+
+def write_report(output_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

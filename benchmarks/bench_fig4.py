@@ -1,0 +1,31 @@
+"""Figure 4: PGP (static estimate) vs measured PG, SpTRSV.
+
+The paper fits a line through 34 (PGP, PG) points and reports R^2 = 0.83 —
+the evidence that the inspector's cheap proxy tracks the real (PAPI/VTune)
+potential gain.  Here PG comes from the simulator's per-core busy cycles;
+the scatter spans all schedulers so the balance spectrum is covered.
+"""
+
+from _common import write_report
+from repro.suite import fig4_pgp_vs_pg, format_kv, format_table
+
+
+def test_fig4(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(
+        fig4_pgp_vs_pg, records_intel, kernel="sptrsv", machine="intel20"
+    )
+    text = "\n\n".join(
+        [
+            format_table(headers, rows, title="Figure 4: PGP vs measured PG (SpTRSV, intel20)"),
+            format_kv(
+                {"R^2": data["r_squared"], "slope": data["slope"], "paper R^2": 0.83},
+                title="linear fit",
+            ),
+        ]
+    )
+    write_report(output_dir, "fig4_intel20", text)
+
+    assert len(rows) >= 10
+    # PGP must be a good predictor of PG: strong positive correlation.
+    assert data["r_squared"] > 0.5, f"R^2 too low: {data['r_squared']:.2f}"
+    assert data["slope"] > 0

@@ -1,0 +1,37 @@
+"""Figure 5: per-matrix speedup of HDagg over each algorithm, three kernels.
+
+Paper shape: HDagg is faster on > 94% of matrices for SpTRSV and SpIC0 and
+~73% for SpILU0 (the hardest kernel); DAGP and LBC lose everywhere.
+"""
+
+import numpy as np
+
+from _common import write_report
+from repro.suite import fig5_per_matrix_speedups, format_table
+
+
+def test_fig5(benchmark, records_intel, output_dir):
+    per_kernel = benchmark(fig5_per_matrix_speedups, records_intel, machine="intel20")
+    chunks = []
+    for kernel, (headers, rows, data) in sorted(per_kernel.items()):
+        chunks.append(
+            format_table(headers, rows, title=f"Figure 5: HDagg speedup per matrix ({kernel}, intel20)")
+        )
+    write_report(output_dir, "fig5_intel20", "\n\n".join(chunks))
+
+    assert set(per_kernel) == {"sptrsv", "spic0", "spilu0"}
+    for kernel, (_, rows, data) in per_kernel.items():
+        # HDagg beats DAGP and LBC on (almost) every matrix — the paper's
+        # strongest per-matrix claim.
+        for baseline in ("dagp", "lbc"):
+            ratios = np.array(list(data[baseline].values()))
+            ratios = ratios[np.isfinite(ratios)]
+            win_rate = float((ratios > 1.0).mean())
+            assert win_rate >= 0.75, f"{kernel} vs {baseline}: wins {win_rate:.0%}"
+    # and wins a solid majority against the wavefront family on the two
+    # heavier kernels (SpIC0 ratios hover near parity on the scaled suite —
+    # a documented deviation from the paper's 94%; see EXPERIMENTS.md).
+    for kernel in ("sptrsv", "spilu0"):
+        _, _, data = per_kernel[kernel]
+        wf = np.array(list(data["wavefront"].values()))
+        assert float((wf[np.isfinite(wf)] > 1.0).mean()) >= 0.5, kernel

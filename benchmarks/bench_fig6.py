@@ -1,0 +1,42 @@
+"""Figure 6: the three performance metrics per matrix (SpILU0, Intel).
+
+Locality (average memory access latency), load balance (measured potential
+gain), and synchronisation (equivalent point-to-point count) per matrix and
+algorithm — the data behind the paper's per-matrix analysis of *why* HDagg
+wins or loses.
+"""
+
+import numpy as np
+
+from _common import write_report
+from repro.suite import fig6_performance_metrics, format_table, index_records
+
+
+def test_fig6(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(
+        fig6_performance_metrics, records_intel, kernel="spilu0", machine="intel20"
+    )
+    write_report(
+        output_dir,
+        "fig6_intel20",
+        format_table(headers, rows, title="Figure 6: performance metrics (SpILU0, intel20)"),
+    )
+
+    matrices = {m for (m, _) in data}
+    # DAGP's load balance is the worst on average (paper: highest PG bars).
+    def avg_pg(algo):
+        vals = [v["pg"] for (m, a), v in data.items() if a == algo]
+        return float(np.mean(vals))
+
+    assert avg_pg("dagp") > avg_pg("hdagg")
+    assert avg_pg("dagp") > avg_pg("spmp")
+    # SpMP/Wavefront balance at least as well as HDagg on average (paper).
+    assert avg_pg("spmp") <= avg_pg("hdagg") + 0.05
+
+    # Wavefront pays the most synchronisation (a barrier per level).
+    def avg_sync(algo):
+        vals = [v["syncs"] for (m, a), v in data.items() if a == algo]
+        return float(np.mean(vals))
+
+    assert avg_sync("wavefront") > avg_sync("hdagg")
+    assert avg_sync("wavefront") > avg_sync("lbc")

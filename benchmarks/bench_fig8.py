@@ -1,0 +1,31 @@
+"""Figure 8: speedup over SpMP/Wavefront vs locality improvement.
+
+The paper's causal claim: restricted to Table III categories 1-2, HDagg's
+speedup over the wavefront family correlates with its locality improvement
+with R^2 = 0.95 — locality, not load balance or sync, is what HDagg's
+aggregation buys.
+"""
+
+from _common import write_report
+from repro.suite import fig8_speedup_vs_locality, format_kv, format_table
+
+
+def test_fig8(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(
+        fig8_speedup_vs_locality, records_intel, kernel="spilu0", machine="intel20"
+    )
+    text = "\n\n".join(
+        [
+            format_table(headers, rows, title="Figure 8: speedup vs locality improvement (SpILU0)"),
+            format_kv(
+                {"R^2": data["r_squared"], "slope": data["slope"], "paper R^2": 0.95},
+                title="linear fit",
+            ),
+        ]
+    )
+    write_report(output_dir, "fig8_intel20", text)
+
+    assert len(rows) >= 4
+    # positive relationship: better locality -> better relative speedup
+    assert data["slope"] > 0
+    assert data["r_squared"] > 0.25

@@ -1,0 +1,45 @@
+"""Figure 9: NRE — kernel executions needed to amortise the inspector.
+
+Paper values (SpTRSV averages): DAGP ~5305 (off the chart), LBC 24,
+SpMP 21, HDagg 16, Wavefront 9.4.  For SpIC0/SpILU0 HDagg's NRE drops
+below 1 (0.38 / 0.41): a factorisation is so much heavier than its
+inspection that one run already amortises it.
+"""
+
+import math
+
+import numpy as np
+
+from _common import write_report
+from repro.suite import fig9_nre, format_kv, format_table
+
+PAPER_SPTRSV = {"wavefront": 9.4, "hdagg": 16.0, "spmp": 21.0, "lbc": 24.0, "dagp": 5305.0}
+
+
+def test_fig9(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(fig9_nre, records_intel, machine="intel20")
+    text = "\n\n".join(
+        [
+            format_table(headers, rows, title="Figure 9: NRE per matrix (SpTRSV, intel20)"),
+            format_kv(data["sptrsv"], title="average NRE (SpTRSV)"),
+            format_kv(
+                {k: v["hdagg"] for k, v in data.items() if k != "sptrsv"},
+                title="average NRE of HDagg (factorisations)",
+            ),
+            format_kv(PAPER_SPTRSV, title="paper averages (SpTRSV)"),
+        ]
+    )
+    write_report(output_dir, "fig9_intel20", text)
+
+    avg = data["sptrsv"]
+    # ordering claims from the paper
+    assert avg["wavefront"] < avg["hdagg"], avg
+    assert avg["dagp"] > 20 * avg["hdagg"], avg
+    # level-set family amortises within tens of executions
+    for algo in ("wavefront", "hdagg", "spmp", "lbc"):
+        assert avg[algo] < 500, (algo, avg[algo])
+    # factorisations amortise faster than the solve (paper: NRE < 1; the
+    # simulated cost model compresses the kernel-weight gap, so the claim
+    # kept here is the ordering for the heavier SpILU0)
+    assert data["spilu0"]["hdagg"] < avg["hdagg"]
+    assert math.isfinite(data["spic0"]["hdagg"])

@@ -1,0 +1,73 @@
+"""Section IV-E: inspector complexity scaling.
+
+The paper derives O(|E| * E[D] + |V| * Var[D]) for the transitive
+reduction, O(|V| + |E|) for subtree aggregation, and O(l * |E| * log|V|)
+for the per-merge connected components.  This benchmark times the real
+stages of this implementation over a Poisson size sweep and checks the
+growth is near-linear in |E| (doubling nnz must not quadruple stage time).
+"""
+
+import numpy as np
+import pytest
+
+from _common import write_report
+from repro.core import hdagg, subtree_grouping
+from repro.graph import dag_from_matrix_lower, transitive_reduction_two_hop
+from repro.kernels import KERNELS
+from repro.sparse import apply_ordering, poisson2d
+from repro.suite import format_table
+
+SIZES = [32, 48, 64, 96]
+
+
+@pytest.fixture(scope="module")
+def dags():
+    out = []
+    for nx in SIZES:
+        a, _ = apply_ordering(poisson2d(nx, seed=1), "nd")
+        g = dag_from_matrix_lower(a)
+        out.append((nx, a, g))
+    return out
+
+
+def test_transitive_reduction_scaling(benchmark, dags, output_dir):
+    _, _, g_mid = dags[-2]
+    benchmark(transitive_reduction_two_hop, g_mid)
+
+
+def test_subtree_grouping_scaling(benchmark, dags):
+    _, _, g_mid = dags[-2]
+    g_red = transitive_reduction_two_hop(g_mid)
+    benchmark(subtree_grouping, g_red)
+
+
+def test_full_inspector_scaling(benchmark, dags, output_dir):
+    import time
+
+    rows = []
+    times = []
+    for nx, a, g in dags:
+        cost = KERNELS["sptrsv"].cost(a)  # full-matrix cost proxy, fine for timing
+        t0 = time.perf_counter()
+        s = hdagg(g, np.asarray(cost, dtype=float)[: g.n], 20)
+        dt = time.perf_counter() - t0
+        times.append(dt)
+        rows.append([f"poisson2d({nx})", g.n, g.n_edges, dt * 1e3, s.n_levels])
+    write_report(
+        output_dir,
+        "inspector_scaling",
+        format_table(
+            ["matrix", "V", "E", "inspector ms", "coarse wavefronts"],
+            rows,
+            title="HDagg inspector scaling (Section IV-E)",
+        ),
+    )
+    # near-linear growth: 9x more edges should cost well under 9^2 more time
+    edge_ratio = dags[-1][2].n_edges / dags[0][2].n_edges
+    time_ratio = times[-1] / max(times[0], 1e-9)
+    assert time_ratio < edge_ratio**2, (time_ratio, edge_ratio)
+
+    # benchmark the largest instance for the timing report
+    nx, a, g = dags[-1]
+    cost = np.ones(g.n)
+    benchmark.pedantic(hdagg, args=(g, cost, 20), rounds=3, iterations=1)

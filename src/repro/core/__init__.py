@@ -1,0 +1,37 @@
+"""HDagg core: the paper's contribution (Algorithm 1) and its data types."""
+
+from .aggregation import aggregate_densely_connected, subtree_grouping
+from .analysis import level_table, schedule_report, utilization_chart
+from .binpack import BinPacking, first_fit_pack
+from .hdagg import expand_lbp_to_schedule, hdagg
+from .inspector import HDaggInspector
+from .lbp import CoarsenedWavefront, LBPDecision, LBPResult, lbp_coarsen
+from .pgp import DEFAULT_EPSILON, accumulated_pgp, pgp, pgp_worst_case
+from .schedule import Schedule, ScheduleError, WidthPartition
+from .verify import VerificationReport, verify_schedule
+
+__all__ = [
+    "hdagg",
+    "HDaggInspector",
+    "level_table",
+    "schedule_report",
+    "utilization_chart",
+    "expand_lbp_to_schedule",
+    "aggregate_densely_connected",
+    "subtree_grouping",
+    "lbp_coarsen",
+    "LBPResult",
+    "LBPDecision",
+    "CoarsenedWavefront",
+    "first_fit_pack",
+    "BinPacking",
+    "pgp",
+    "pgp_worst_case",
+    "accumulated_pgp",
+    "DEFAULT_EPSILON",
+    "Schedule",
+    "ScheduleError",
+    "verify_schedule",
+    "VerificationReport",
+    "WidthPartition",
+]

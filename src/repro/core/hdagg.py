@@ -1,0 +1,174 @@
+"""The HDagg inspector: Algorithm 1 end to end.
+
+``hdagg(G, C, p, epsilon)`` mirrors Listing 2's ``HDagg(G, C, num_cores(),
+epsilon())``: it takes the kernel's dependence DAG, the per-iteration cost
+function, the core count, and the load-balance threshold, and returns a
+:class:`~repro.core.schedule.Schedule` of coarsened wavefronts made of
+width-partitions.
+
+Pipeline:
+
+1. *Aggregating densely connected vertices* — two-hop transitive reduction,
+   subtree grouping, coarsened DAG ``G''``
+   (:mod:`repro.core.aggregation`).
+2. *LBP wavefront coarsening* — merge wavefronts of ``G''`` under the PGP
+   threshold with first-fit bin packing (:mod:`repro.core.lbp`).
+3. Expansion back to original iteration ids, smallest-id-first inside each
+   bin (the spatial-locality rule of Section IV-C).
+
+The keyword switches (``aggregate``, ``transitive_reduce``, ``bin_pack``)
+exist for the ablation studies; the defaults are the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.coarsen import Grouping, coarsen_dag, identity_grouping
+from ..graph.dag import DAG
+from ..graph.transitive_reduction import transitive_reduction_two_hop
+from ..sparse.csr import INDEX_DTYPE
+from .aggregation import subtree_grouping
+from .lbp import LBPResult, lbp_coarsen
+from .pgp import DEFAULT_EPSILON
+from .schedule import Schedule, WidthPartition
+
+__all__ = ["hdagg", "expand_lbp_to_schedule"]
+
+
+def _expand_bin(grouping: Grouping, coarse_ids: np.ndarray) -> np.ndarray:
+    """Original vertex ids of a set of coarse vertices, smallest id first."""
+    members = [grouping.groups[int(c)] for c in coarse_ids]
+    return np.sort(np.concatenate(members)) if members else np.empty(0, dtype=INDEX_DTYPE)
+
+
+def expand_lbp_to_schedule(
+    lbp: LBPResult,
+    grouping: Grouping,
+    n: int,
+    p: int,
+    *,
+    algorithm: str = "hdagg",
+    sync: str = "barrier",
+    meta: dict | None = None,
+) -> Schedule:
+    """Turn an :class:`LBPResult` over ``G''`` into a vertex-level schedule.
+
+    Packed mode: each used bin of a coarsened wavefront becomes one
+    width-partition pinned to that bin's core.  Fine-grained mode
+    (Lines 36-38): every connected component becomes its own width-partition
+    with ``core = -1`` for dynamic placement.
+    """
+    levels: List[List[WidthPartition]] = []
+    for cw in lbp.coarsened:
+        parts: List[WidthPartition] = []
+        if lbp.fine_grained:
+            for comp in cw.components:
+                verts = _expand_bin(grouping, comp)
+                if verts.size:
+                    parts.append(WidthPartition(core=-1, vertices=verts))
+        else:
+            for core, items in enumerate(cw.packing.items_per_bin(p)):
+                if items.size == 0:
+                    continue
+                coarse = np.concatenate([cw.components[int(k)] for k in items])
+                verts = _expand_bin(grouping, coarse)
+                parts.append(WidthPartition(core=core, vertices=verts))
+        if parts:
+            levels.append(parts)
+    return Schedule(
+        n=n,
+        levels=levels,
+        sync=sync,
+        algorithm=algorithm,
+        n_cores=p,
+        fine_grained=lbp.fine_grained,
+        meta=meta or {},
+    )
+
+
+def hdagg(
+    g: DAG,
+    cost: np.ndarray,
+    p: int,
+    epsilon: float = DEFAULT_EPSILON,
+    *,
+    aggregate: bool = True,
+    transitive_reduce: bool = True,
+    bin_pack: bool = True,
+    group_cost_cap_fraction: float | None = 0.25,
+    sync: str = "barrier",
+) -> Schedule:
+    """Build the HDagg schedule for DAG ``g`` with vertex costs ``cost``.
+
+    Parameters
+    ----------
+    g:
+        Dependence DAG (id-topological, as produced by the kernel builders).
+    cost:
+        Per-iteration cost, length ``g.n`` (non-zeros touched).
+    p:
+        Number of physical cores (Listing 2's ``num_cores()``).
+    epsilon:
+        Load-balance threshold for PGP (Listing 2's ``epsilon()``).
+    aggregate:
+        Disable to skip step 1 entirely (ablation: every vertex is its own
+        group).
+    transitive_reduce:
+        Disable to run subtree grouping on the raw DAG (ablation: shows why
+        the reduction is what exposes subtrees).
+    bin_pack:
+        Disable to force fine-grained tasks regardless of accumulated PGP
+        (ablation of Lines 36-38).
+    group_cost_cap_fraction:
+        Step-1 groups stop growing once their cost exceeds this fraction of
+        one core's fair share (``total_cost / p``); keeps tree-shaped
+        reduced DAGs (chordal inputs) from collapsing into one sequential
+        group.  ``None`` reproduces the paper's uncapped listing.
+    sync:
+        ``"barrier"`` is the paper's executor (a global barrier between
+        coarsened wavefronts).  ``"p2p"`` is an extension: width-partitions
+        synchronise point-to-point like SpMP groups, letting coarsened
+        wavefronts overlap — safe because width-partitions are connected
+        components (no intra-level dependences by construction).
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.shape[0] != g.n:
+        raise ValueError(f"cost has length {cost.shape[0]}, expected {g.n}")
+    if g.n == 0:
+        return Schedule(n=0, levels=[], sync="barrier", algorithm="hdagg", n_cores=p)
+
+    # ---------------- Step 1 (Lines 1-20) ----------------
+    if aggregate:
+        g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
+        cap = (
+            group_cost_cap_fraction * float(cost.sum()) / p
+            if group_cost_cap_fraction is not None
+            else None
+        )
+        grouping = subtree_grouping(g_base, cost, cap)
+    else:
+        g_base = g
+        grouping = identity_grouping(g.n)
+    g2 = coarsen_dag(g_base, grouping)
+    group_cost = grouping.group_costs(cost)
+
+    # ---------------- Step 2 (Lines 21-38) ----------------
+    lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
+    if not bin_pack:
+        lbp.fine_grained = True
+
+    meta = {
+        "n_groups": grouping.n_groups,
+        "n_edges_original": g.n_edges,
+        "n_edges_reduced": g_base.n_edges,
+        "n_coarse_vertices": g2.n,
+        "n_coarse_wavefronts": len(lbp.coarsened),
+        "n_wavefronts": lbp.waves.n_levels,
+        "accumulated_pgp": lbp.accumulated_pgp,
+        "cut_positions": lbp.cut_positions,
+        "epsilon": epsilon,
+    }
+    return expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)

@@ -1,0 +1,113 @@
+"""Cached inspector: reuse the expensive analysis across schedule requests.
+
+The inspector-executor pattern splits cost into analyse-once / run-many.
+Within the analysis itself there is a second split this class exploits:
+the transitive reduction and subtree grouping depend only on the DAG (and
+the cost vector via the group cap), while the LBP coarsening also depends
+on the core count and the balance threshold.  ``HDaggInspector`` caches
+the former, so sweeping ``p`` or ``epsilon`` (autotuning, the ablation
+benchmarks, a solver picking its thread count at run time) pays the
+two-hop reduction once instead of per request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..graph.coarsen import Grouping, coarsen_dag
+from ..graph.dag import DAG
+from ..graph.transitive_reduction import transitive_reduction_two_hop
+from .aggregation import subtree_grouping
+from .hdagg import expand_lbp_to_schedule
+from .lbp import lbp_coarsen
+from .pgp import DEFAULT_EPSILON
+from .schedule import Schedule
+
+__all__ = ["HDaggInspector"]
+
+
+class HDaggInspector:
+    """Analyse a DAG once; emit HDagg schedules for many ``(p, epsilon)``.
+
+    Parameters mirror :func:`repro.core.hdagg.hdagg`; the grouping cap is
+    resolved per request (it depends on ``p``), so the step-1 grouping is
+    cached per distinct cap value — for the default fractional cap that
+    means one grouping per requested core count, each computed from the
+    cached reduced DAG.
+    """
+
+    def __init__(
+        self,
+        g: DAG,
+        cost: np.ndarray,
+        *,
+        transitive_reduce: bool = True,
+        group_cost_cap_fraction: float | None = 0.25,
+    ) -> None:
+        self.g = g
+        self.cost = np.asarray(cost, dtype=np.float64)
+        if self.cost.shape[0] != g.n:
+            raise ValueError(f"cost has length {self.cost.shape[0]}, expected {g.n}")
+        self.group_cost_cap_fraction = group_cost_cap_fraction
+        self._reduced: DAG = transitive_reduction_two_hop(g) if transitive_reduce else g
+        self._groupings: Dict[float | None, Tuple[Grouping, DAG, np.ndarray]] = {}
+        self._schedules: Dict[Tuple[int, float, bool], Schedule] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def reduced_dag(self) -> DAG:
+        """The cached two-hop-reduced DAG (step 1's input)."""
+        return self._reduced
+
+    def _grouping_for(self, p: int) -> Tuple[Grouping, DAG, np.ndarray]:
+        cap = (
+            self.group_cost_cap_fraction * float(self.cost.sum()) / p
+            if self.group_cost_cap_fraction is not None
+            else None
+        )
+        if cap not in self._groupings:
+            grouping = subtree_grouping(self._reduced, self.cost, cap)
+            g2 = coarsen_dag(self._reduced, grouping)
+            self._groupings[cap] = (grouping, g2, grouping.group_costs(self.cost))
+        return self._groupings[cap]
+
+    def schedule(
+        self,
+        p: int,
+        epsilon: float = DEFAULT_EPSILON,
+        *,
+        bin_pack: bool = True,
+    ) -> Schedule:
+        """HDagg schedule for ``p`` cores at threshold ``epsilon`` (cached)."""
+        key = (p, epsilon, bin_pack)
+        if key in self._schedules:
+            return self._schedules[key]
+        grouping, g2, group_cost = self._grouping_for(p)
+        lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
+        if not bin_pack:
+            lbp.fine_grained = True
+        meta = {
+            "n_groups": grouping.n_groups,
+            "n_edges_original": self.g.n_edges,
+            "n_edges_reduced": self._reduced.n_edges,
+            "n_coarse_vertices": g2.n,
+            "n_coarse_wavefronts": len(lbp.coarsened),
+            "n_wavefronts": lbp.waves.n_levels,
+            "accumulated_pgp": lbp.accumulated_pgp,
+            "cut_positions": lbp.cut_positions,
+            "epsilon": epsilon,
+            "cached_inspector": True,
+        }
+        s = expand_lbp_to_schedule(lbp, grouping, self.g.n, p, meta=meta)
+        self._schedules[key] = s
+        return s
+
+    def cache_info(self) -> dict:
+        """Sizes of the internal caches (observability for tests/tools)."""
+        return {
+            "groupings": len(self._groupings),
+            "schedules": len(self._schedules),
+            "reduced_edges": self._reduced.n_edges,
+        }

@@ -1,0 +1,151 @@
+"""Step 2 of HDagg: Load-balance Preserving (LBP) wavefront coarsening.
+
+Algorithm 1, Lines 21-38.  Starting from the first wavefront of the coarsened
+DAG ``G''``, LBP keeps merging the next wavefront into the current coarsened
+wavefront while the merged range's connected components can be first-fit
+bin-packed into ``p`` bins with PGP below the threshold ``ε``.  When a merge
+would break balance, the current range is emitted (a *cut*) and coarsening
+restarts from the wavefront that broke it.  A range stuck at a single
+unbalanced wavefront is emitted as-is (Line 27-28: "Single Unbalanced Wave").
+
+Implementation note: the paper's listing advances ``cut`` to ``i`` in the
+general branch, which would drop wavefront ``i-1`` from every range; we keep
+it (cut to the first unmerged wavefront and re-pack the single-wave
+candidate), which matches the worked example in Figure 2/3 — W1,W2 merge,
+W3 and W4 are emitted alone — and the prose "a cut occurs if continuing to
+merge with the next wavefront results in load imbalance".
+
+Lines 36-38: if the PGP accumulated across all coarsened wavefronts still
+exceeds ``ε``, bin packing is disabled and every connected component becomes
+a fine-grained task for the runtime scheduler to balance dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..graph.connected_components import components_as_lists
+from ..graph.dag import DAG
+from ..graph.wavefronts import Wavefronts, compute_wavefronts
+from .binpack import BinPacking, first_fit_pack
+from .pgp import DEFAULT_EPSILON, pgp
+
+__all__ = ["CoarsenedWavefront", "LBPDecision", "LBPResult", "lbp_coarsen"]
+
+
+@dataclass
+class CoarsenedWavefront:
+    """One merged wavefront range with its packing.
+
+    ``components`` are arrays of *coarse* vertex ids (ordered by smallest
+    member); ``packing.assignment[k]`` is the bin of ``components[k]``.
+    """
+
+    wave_lo: int
+    wave_hi: int  # exclusive
+    components: List[np.ndarray]
+    packing: BinPacking
+
+    @property
+    def n_waves(self) -> int:
+        return self.wave_hi - self.wave_lo
+
+    @property
+    def pgp(self) -> float:
+        return self.packing.pgp()
+
+
+@dataclass
+class LBPDecision:
+    """One step of the Figure-3 decision walk: try to merge wavefront ``wave``."""
+
+    wave: int
+    pgp: float
+    merged: bool
+
+
+@dataclass
+class LBPResult:
+    """Outcome of LBP coarsening over ``G''``."""
+
+    coarsened: List[CoarsenedWavefront]
+    waves: Wavefronts
+    fine_grained: bool
+    accumulated_pgp: float
+    #: the merge/cut choice made at every wavefront (the paper's Figure 3
+    #: highlighted path); empty for <= 1 wavefront
+    decisions: List[LBPDecision] = None
+
+    @property
+    def cut_positions(self) -> List[int]:
+        """Wavefront indices where cuts were placed."""
+        return [cw.wave_lo for cw in self.coarsened[1:]]
+
+
+def _pack_range(
+    g2: DAG, waves: Wavefronts, cost: np.ndarray, p: int, lo: int, hi: int
+) -> CoarsenedWavefront:
+    """``BinPack(CC(W[lo:hi]), C, p)`` — Lines 23/25 of Algorithm 1."""
+    verts = waves.vertices_in_range(lo, hi)
+    components = components_as_lists(g2, verts)
+    comp_costs = np.array([float(cost[c].sum()) for c in components], dtype=np.float64)
+    packing = first_fit_pack(comp_costs, p)
+    return CoarsenedWavefront(wave_lo=lo, wave_hi=hi, components=components, packing=packing)
+
+
+def lbp_coarsen(
+    g2: DAG,
+    cost: np.ndarray,
+    p: int,
+    epsilon: float = DEFAULT_EPSILON,
+    *,
+    allow_fine_grained: bool = True,
+) -> LBPResult:
+    """Run LBP on the coarsened DAG ``g2`` with per-coarse-vertex ``cost``.
+
+    Parameters mirror Algorithm 1: ``p`` is the core count, ``epsilon`` the
+    load-balance threshold.  ``allow_fine_grained=False`` suppresses the
+    Lines 36-38 fallback (used by ablation benchmarks).
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.shape[0] != g2.n:
+        raise ValueError(f"cost has length {cost.shape[0]}, expected {g2.n}")
+    waves = compute_wavefronts(g2)
+    l = waves.n_levels
+    coarsened: List[CoarsenedWavefront] = []
+    decisions: List[LBPDecision] = []
+    if l == 0:
+        return LBPResult(
+            coarsened=[], waves=waves, fine_grained=False,
+            accumulated_pgp=0.0, decisions=decisions,
+        )
+
+    cut = 0
+    prev = _pack_range(g2, waves, cost, p, 0, 1)  # Line 23 seed
+    i = 1
+    while i < l:
+        cand = _pack_range(g2, waves, cost, p, cut, i + 1)  # Line 25
+        score = pgp(cand.packing.loads)
+        if score > epsilon:  # Line 26
+            decisions.append(LBPDecision(wave=i, pgp=score, merged=False))
+            coarsened.append(prev)  # Lines 27-31 (single wave == prev here)
+            cut = i  # cut before the wavefront that broke balance
+            prev = _pack_range(g2, waves, cost, p, cut, i + 1)
+        else:
+            decisions.append(LBPDecision(wave=i, pgp=score, merged=True))
+            prev = cand  # Line 34
+        i += 1
+    coarsened.append(prev)
+
+    # Lines 36-38: accumulated imbalance across the whole schedule.
+    total_mean = sum(float(cw.packing.loads.mean()) for cw in coarsened)
+    total_max = sum(float(cw.packing.loads.max()) for cw in coarsened)
+    accumulated = 1.0 - total_mean / total_max if total_max > 0 else 0.0
+    fine = allow_fine_grained and accumulated > epsilon
+    return LBPResult(
+        coarsened=coarsened, waves=waves, fine_grained=fine,
+        accumulated_pgp=accumulated, decisions=decisions,
+    )

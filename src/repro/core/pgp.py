@@ -1,0 +1,84 @@
+"""Potential Gain Proxy (PGP) — the paper's static load-balance metric.
+
+Section IV-D, Equation 1::
+
+    PGP = 1 - mean(B) / max(B)
+
+where ``B = {B_1 .. B_p}`` are per-core workloads (``B_i`` = summed vertex
+cost on core ``i``).  PGP is 0 for a perfectly balanced assignment and
+approaches ``1 - 1/p`` when one core carries everything; it estimates the
+fraction of runtime that perfect balancing would recover, and Figure 4 shows
+it tracks the measured potential gain with R² ≈ 0.83.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schedule import Schedule
+
+__all__ = ["pgp", "pgp_worst_case", "accumulated_pgp", "DEFAULT_EPSILON"]
+
+#: Default load-balance threshold epsilon (Listing 2's ``epsilon()``):
+#: coarsened wavefronts whose PGP exceeds this are cut.  0.3 tolerates the
+#: mild first-fit unevenness of packing a few hundred components into p
+#: bins while still cutting genuinely imbalanced merges; the ablation
+#: benchmark sweeps it (see benchmarks/bench_ablation.py).
+DEFAULT_EPSILON = 0.3
+
+
+def pgp(bin_loads: Sequence[float] | np.ndarray) -> float:
+    """PGP of one set of per-core loads (Equation 1); 0 when all loads are 0.
+
+    >>> pgp([5.0, 5.0])
+    0.0
+    >>> pgp([10.0, 0.0])   # the paper's p = 2 worked example
+    0.5
+    >>> pgp([])
+    0.0
+    """
+    b = np.asarray(bin_loads, dtype=np.float64)
+    if b.size == 0:
+        return 0.0
+    mx = float(b.max())
+    if mx <= 0.0:
+        return 0.0
+    # clamp: floating-point summation can push mean/max a few ulp past 1
+    return max(0.0, 1.0 - float(b.mean()) / mx)
+
+
+def pgp_worst_case(p: int) -> float:
+    """PGP when one of ``p`` cores carries all work: ``1 - 1/p``.
+
+    >>> pgp_worst_case(4)
+    0.75
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return 1.0 - 1.0 / p
+
+
+def accumulated_pgp(schedule: "Schedule", vertex_cost: np.ndarray) -> float:
+    """Schedule-wide PGP (Algorithm 1, Lines 36-38).
+
+    Accumulates loads across coarsened wavefronts: the executor runs levels
+    sequentially, so the effective span is the sum over levels of each
+    level's maximum load while the useful work is the sum of means::
+
+        PGP(S) = 1 - (sum_k mean(B^k)) / (sum_k max(B^k))
+
+    This is the "accumulation of imbalance cost across all coarsened
+    wavefronts" that decides whether bin packing is disabled.
+    """
+    vertex_cost = np.asarray(vertex_cost, dtype=np.float64)
+    total_mean = 0.0
+    total_max = 0.0
+    for loads in schedule.level_loads(vertex_cost):
+        total_mean += float(loads.mean())
+        total_max += float(loads.max())
+    if total_max <= 0.0:
+        return 0.0
+    return max(0.0, 1.0 - total_mean / total_max)

@@ -1,0 +1,348 @@
+"""Schedule: the object every inspector produces and every executor consumes.
+
+Section IV-A of the paper: "The created schedule is composed of a set of
+disjoint partitions called coarsened wavefronts.  Each coarsened wavefront is
+composed of one or more disjoint partitions called width-partitions.  The
+coarsened wavefronts execute sequentially and width-partitions of a coarsened
+wavefront run in parallel."
+
+The same container also represents the baselines:
+
+* Wavefront / MKL-like: one coarsened wavefront per level, chunked into
+  width-partitions, ``sync="barrier"``;
+* SpMP: level-grouped width-partitions with ``sync="p2p"`` (no barriers —
+  the simulator lets partitions start when their cross-partition dependences
+  are satisfied);
+* LBC: the coarsened l-partitions plus the sequential tail;
+* DAGP: quotient-graph levels of the acyclic partitioning, ``sync="p2p"``;
+* serial: a single width-partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.csr import INDEX_DTYPE
+
+__all__ = ["WidthPartition", "Schedule", "ScheduleError"]
+
+
+def _json_safe(v) -> bool:
+    """Keep only plainly serialisable meta entries when exporting."""
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return True
+    if isinstance(v, (list, tuple)):
+        return all(_json_safe(x) for x in v)
+    return False
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates its structural or dependence invariants."""
+
+
+@dataclass(frozen=True)
+class WidthPartition:
+    """A sequential unit of work: vertices executed in array order on one core.
+
+    ``core`` is the bin the inspector assigned (0-based).  Fine-grained
+    schedules (bin packing disabled, Algorithm 1 Lines 36-38) use
+    ``core = -1``: the runtime picks a core dynamically.
+    """
+
+    core: int
+    vertices: np.ndarray
+
+    def __post_init__(self) -> None:
+        v = np.ascontiguousarray(self.vertices, dtype=INDEX_DTYPE)
+        object.__setattr__(self, "vertices", v)
+        if v.ndim != 1 or v.shape[0] == 0:
+            raise ScheduleError("width-partition must be a non-empty 1-D vertex array")
+
+    @property
+    def size(self) -> int:
+        return int(self.vertices.shape[0])
+
+    def cost(self, vertex_cost: np.ndarray) -> float:
+        """Total cost of the partition under a per-vertex cost function."""
+        return float(vertex_cost[self.vertices].sum())
+
+
+@dataclass
+class Schedule:
+    """A complete execution plan for one sparse kernel instance.
+
+    Attributes
+    ----------
+    n:
+        Number of kernel iterations (DAG vertices).
+    levels:
+        Coarsened wavefronts, outermost-sequential; each is a list of
+        :class:`WidthPartition` that may run concurrently.
+    sync:
+        ``"barrier"`` — a global barrier separates consecutive levels;
+        ``"p2p"`` — partitions synchronise point-to-point on their
+        cross-partition dependences (no barriers).
+    algorithm:
+        Producing inspector's name (``"hdagg"``, ``"wavefront"``, ...).
+    n_cores:
+        Core count the schedule was built for.
+    fine_grained:
+        True when bin packing was disabled and the runtime load-balances the
+        width-partitions dynamically.
+    meta:
+        Free-form inspector diagnostics (grouping sizes, cut positions, ...).
+    """
+
+    n: int
+    levels: List[List[WidthPartition]]
+    sync: str
+    algorithm: str
+    n_cores: int
+    fine_grained: bool = False
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sync not in ("barrier", "p2p"):
+            raise ScheduleError(f"unknown sync model {self.sync!r}")
+        if self.n_cores < 1:
+            raise ScheduleError("n_cores must be >= 1")
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of coarsened wavefronts."""
+        return len(self.levels)
+
+    @property
+    def n_partitions(self) -> int:
+        """Total number of width-partitions."""
+        return sum(len(level) for level in self.levels)
+
+    def iter_partitions(self) -> Iterator[tuple[int, WidthPartition]]:
+        """Yield ``(level_index, partition)`` in schedule order."""
+        for k, level in enumerate(self.levels):
+            for part in level:
+                yield k, part
+
+    def execution_order(self) -> np.ndarray:
+        """A sequential order consistent with the schedule.
+
+        Levels in order, partitions within a level in list order, vertices
+        within a partition in array order.  For any *valid* schedule this is
+        a topological order of the kernel DAG, which is what the
+        dependence-checking executors consume.
+        """
+        chunks = [part.vertices for _, part in self.iter_partitions()]
+        if not chunks:
+            return np.empty(0, dtype=INDEX_DTYPE)
+        return np.concatenate(chunks)
+
+    def level_of(self) -> np.ndarray:
+        """Per-vertex coarsened-wavefront index."""
+        out = np.full(self.n, -1, dtype=INDEX_DTYPE)
+        for k, part in self.iter_partitions():
+            out[part.vertices] = k
+        return out
+
+    def partition_of(self) -> np.ndarray:
+        """Per-vertex global width-partition index (schedule order)."""
+        out = np.full(self.n, -1, dtype=INDEX_DTYPE)
+        for pid, (_, part) in enumerate(self.iter_partitions()):
+            out[part.vertices] = pid
+        return out
+
+    def position_of(self) -> np.ndarray:
+        """Per-vertex position within its width-partition."""
+        out = np.full(self.n, -1, dtype=INDEX_DTYPE)
+        for _, part in self.iter_partitions():
+            out[part.vertices] = np.arange(part.size, dtype=INDEX_DTYPE)
+        return out
+
+    def core_assignment(self) -> np.ndarray:
+        """Per-vertex core id (-1 where dynamically scheduled)."""
+        out = np.full(self.n, -1, dtype=INDEX_DTYPE)
+        for _, part in self.iter_partitions():
+            out[part.vertices] = part.core
+        return out
+
+    def n_barriers(self) -> int:
+        """Global barriers the executor will issue (levels - 1 for barrier sync)."""
+        return max(0, self.n_levels - 1) if self.sync == "barrier" else 0
+
+    def level_loads(self, vertex_cost: np.ndarray) -> List[np.ndarray]:
+        """Per-level array of per-core loads (length ``n_cores`` each).
+
+        Fine-grained partitions (core == -1) are assigned greedily to the
+        least-loaded core, mirroring what a work-stealing runtime achieves.
+        """
+        loads: List[np.ndarray] = []
+        for level in self.levels:
+            bins = np.zeros(self.n_cores, dtype=np.float64)
+            for part in level:
+                c = part.cost(vertex_cost)
+                if part.core >= 0:
+                    bins[part.core % self.n_cores] += c
+                else:
+                    bins[int(np.argmin(bins))] += c
+            loads.append(bins)
+        return loads
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, g: DAG, *, check_dependences: bool = True) -> None:
+        """Raise :class:`ScheduleError` unless the schedule is well-formed.
+
+        Structural: the width-partitions exactly partition ``range(n)`` and
+        per-level core ids are unique (when statically assigned).
+
+        Dependences: every edge ``u -> v`` must satisfy
+        ``level(u) < level(v)``, or ``u`` and ``v`` share a width-partition
+        with ``u`` positioned earlier.  This is the safety invariant of both
+        sync models (barrier: partitions of one level run concurrently;
+        p2p: partitions may overlap across levels but a partition never
+        waits mid-stream for a same-level peer).
+        """
+        if g.n != self.n:
+            raise ScheduleError(f"schedule covers {self.n} vertices, DAG has {g.n}")
+        total = sum(part.size for _, part in self.iter_partitions())
+        if total != self.n:
+            raise ScheduleError(
+                f"schedule holds {total} vertex slots for {self.n} vertices "
+                "(duplicate or missing entries)"
+            )
+        seen = np.zeros(self.n, dtype=bool)
+        for k, level in enumerate(self.levels):
+            used_cores = set()
+            for part in level:
+                if np.any(seen[part.vertices]):
+                    raise ScheduleError(f"vertex scheduled twice (level {k})")
+                seen[part.vertices] = True
+                if part.core >= 0:
+                    if part.core in used_cores:
+                        raise ScheduleError(
+                            f"core {part.core} used by two width-partitions in level {k}"
+                        )
+                    used_cores.add(part.core)
+        if not np.all(seen):
+            missing = np.nonzero(~seen)[0][:5].tolist()
+            raise ScheduleError(f"vertices never scheduled: {missing}")
+        if not check_dependences or g.n_edges == 0:
+            return
+        level = self.level_of()
+        pid = self.partition_of()
+        pos = self.position_of()
+        src, dst = g.edge_list()
+        ok = (level[src] < level[dst]) | ((pid[src] == pid[dst]) & (pos[src] < pos[dst]))
+        if not np.all(ok):
+            bad = int(np.nonzero(~ok)[0][0])
+            raise ScheduleError(
+                f"dependence violated: edge {int(src[bad])} -> {int(dst[bad])} "
+                f"(levels {int(level[src[bad]])} -> {int(level[dst[bad]])})"
+            )
+
+    def summary(self, vertex_cost: np.ndarray | None = None) -> dict:
+        """Shape statistics used by reports and tests."""
+        sizes = [part.size for _, part in self.iter_partitions()]
+        widths = [len(level) for level in self.levels]
+        out = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "n_levels": self.n_levels,
+            "n_partitions": self.n_partitions,
+            "sync": self.sync,
+            "fine_grained": self.fine_grained,
+            "max_width": max(widths) if widths else 0,
+            "mean_partition_size": float(np.mean(sizes)) if sizes else 0.0,
+        }
+        if vertex_cost is not None:
+            from .pgp import accumulated_pgp
+
+            out["accumulated_pgp"] = accumulated_pgp(self, vertex_cost)
+        return out
+
+    def reversed(self) -> "Schedule":
+        """The mirror schedule, valid for the *reversed* DAG.
+
+        Levels run in opposite order and each width-partition's internal
+        order flips; cores and groupings are preserved.  If this schedule
+        is valid for ``G`` then the result is valid for ``G.reverse()`` —
+        which is exactly the dependence structure of the backward/transpose
+        kernel (``L^T x = y``), so one inspection serves both sweeps of a
+        preconditioner application.
+        """
+        levels = [
+            [
+                WidthPartition(core=part.core, vertices=part.vertices[::-1].copy())
+                for part in level
+            ]
+            for level in reversed(self.levels)
+        ]
+        return Schedule(
+            n=self.n,
+            levels=levels,
+            sync=self.sync,
+            algorithm=f"{self.algorithm}-reversed",
+            n_cores=self.n_cores,
+            fine_grained=self.fine_grained,
+            meta=dict(self.meta, reversed=True),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (inspector/executor separation across processes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        The inspector is the expensive half of the framework, so being able
+        to persist its output and reuse it across runs/processes is part of
+        the library contract (the paper's NRE analysis assumes exactly this
+        reuse).
+        """
+        return {
+            "n": self.n,
+            "sync": self.sync,
+            "algorithm": self.algorithm,
+            "n_cores": self.n_cores,
+            "fine_grained": self.fine_grained,
+            "levels": [
+                [{"core": int(part.core), "vertices": part.vertices.tolist()} for part in level]
+                for level in self.levels
+            ],
+            "meta": {k: v for k, v in self.meta.items() if _json_safe(v)},
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "Schedule":
+        """Rebuild a schedule serialised by :meth:`to_dict`."""
+        levels = [
+            [
+                WidthPartition(
+                    core=int(p["core"]),
+                    vertices=np.asarray(p["vertices"], dtype=INDEX_DTYPE),
+                )
+                for p in level
+            ]
+            for level in blob["levels"]
+        ]
+        return cls(
+            n=int(blob["n"]),
+            levels=levels,
+            sync=blob["sync"],
+            algorithm=blob["algorithm"],
+            n_cores=int(blob["n_cores"]),
+            fine_grained=bool(blob.get("fine_grained", False)),
+            meta=dict(blob.get("meta", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.algorithm}, n={self.n}, levels={self.n_levels}, "
+            f"partitions={self.n_partitions}, sync={self.sync})"
+        )

@@ -1,0 +1,71 @@
+"""Build the data-dependence DAG of a sparse kernel from its input matrix.
+
+Section III of the paper: "To compute the DAG of the three supported kernels
+... we use the input matrix.  We do not create the DAG explicitly for
+efficiency and instead reuse the input matrix as the DAG."  For all three
+kernels the dependence structure is the strictly-lower-triangular pattern:
+
+* **SpTRSV** (``Lx = b``, CSR forward substitution): computing ``x[i]`` reads
+  ``x[j]`` for every stored ``L[i, j]`` with ``j < i`` — edge ``j -> i``.
+* **SpIC0 / SpILU0** (row-wise up-looking factorisation): factoring row ``i``
+  reads the already-factored row ``j`` for every stored ``A[i, j]`` with
+  ``j < i`` — again edge ``j -> i``.
+
+Hence one builder serves all kernels; they differ only in cost functions
+(:mod:`repro.kernels.cost`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE
+from .dag import DAG
+
+__all__ = ["dag_from_lower_triangular", "dag_from_matrix_lower", "dag_to_matrix_pattern"]
+
+
+def dag_from_lower_triangular(low: CSRMatrix) -> DAG:
+    """DAG of a lower-triangular CSR matrix: edge ``j -> i`` per ``L[i, j]``, ``j < i``.
+
+    Entries on or above the diagonal contribute no edges.  The result is
+    id-topological by construction (every edge goes from a smaller id to a
+    larger one), which downstream inspectors exploit.
+    """
+    if not low.is_square:
+        raise ValueError("kernel matrices must be square")
+    row_of = np.repeat(np.arange(low.n_rows, dtype=INDEX_DTYPE), low.row_nnz())
+    below = low.indices < row_of
+    src = low.indices[below]
+    dst = row_of[below]
+    return DAG.from_edges(low.n_rows, src, dst, dedup=False)
+
+
+def dag_from_matrix_lower(a: CSRMatrix) -> DAG:
+    """DAG of a general matrix's lower triangle (SpIC0/SpILU0 dependence DAG).
+
+    Works directly off the full matrix without materialising the triangle:
+    any stored ``A[i, j]`` with ``j < i`` yields the edge ``j -> i``.
+    """
+    if not a.is_square:
+        raise ValueError("kernel matrices must be square")
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), a.row_nnz())
+    below = a.indices < row_of
+    return DAG.from_edges(a.n_rows, a.indices[below], row_of[below], dedup=False)
+
+
+def dag_to_matrix_pattern(g: DAG) -> CSRMatrix:
+    """Inverse view: the strictly-lower-triangular pattern matrix of a DAG.
+
+    Each edge ``j -> i`` (requires ``j < i``) becomes a unit entry ``(i, j)``.
+    Useful to route synthetic DAGs through the matrix-driven pipeline.
+    """
+    src, dst = g.edge_list()
+    if src.size and not np.all(src < dst):
+        raise ValueError("DAG must be id-topological to embed as a lower triangle")
+    from ..sparse.csr import csr_from_coo
+
+    rows = np.concatenate([dst, np.arange(g.n, dtype=INDEX_DTYPE)])
+    cols = np.concatenate([src, np.arange(g.n, dtype=INDEX_DTYPE)])
+    vals = np.ones(rows.shape[0], dtype=np.float64)
+    return csr_from_coo(g.n, g.n, rows, cols, vals, sum_duplicates=False)

@@ -1,0 +1,113 @@
+"""DAG coarsening: collapse groups of vertices into super-vertices.
+
+Step 1 of HDagg partitions the reduced DAG into subtrees; the coarsened DAG
+``G''`` (Algorithm 1, Line 20) has one vertex per group and an edge between
+two groups whenever any cross-group edge existed.  The grouping is
+represented both ways: a per-vertex label array and the list of member arrays
+per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sparse.csr import INDEX_DTYPE
+from .dag import DAG
+
+__all__ = ["Grouping", "grouping_from_labels", "grouping_from_groups", "coarsen_dag", "identity_grouping"]
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A partition of DAG vertices into disjoint groups.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[v]`` is the group id of vertex ``v`` (0-based, dense).
+    groups:
+        ``groups[gid]`` is the sorted array of member vertex ids.
+    """
+
+    labels: np.ndarray
+    groups: List[np.ndarray]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.labels.shape[0]
+
+    def group_sizes(self) -> np.ndarray:
+        """Member count per group."""
+        return np.array([g.shape[0] for g in self.groups], dtype=INDEX_DTYPE)
+
+    def group_costs(self, vertex_cost: np.ndarray) -> np.ndarray:
+        """Sum of ``vertex_cost`` over each group's members."""
+        out = np.zeros(self.n_groups, dtype=np.float64)
+        np.add.at(out, self.labels, vertex_cost)
+        return out
+
+    def validate(self) -> None:
+        """Check partition invariants; raises ``AssertionError`` on violation."""
+        seen = np.concatenate(self.groups) if self.groups else np.empty(0, dtype=INDEX_DTYPE)
+        assert seen.shape[0] == self.n_vertices, "groups do not cover all vertices"
+        assert np.array_equal(np.sort(seen), np.arange(self.n_vertices)), "groups overlap or skip"
+        for gid, members in enumerate(self.groups):
+            assert np.all(self.labels[members] == gid), "labels inconsistent with groups"
+
+
+def grouping_from_labels(labels: np.ndarray) -> Grouping:
+    """Build a :class:`Grouping` from a per-vertex label array.
+
+    Labels are densified (renumbered 0..k-1 by order of smallest member id).
+    """
+    labels = np.asarray(labels, dtype=INDEX_DTYPE)
+    _, dense = np.unique(labels, return_inverse=True)
+    dense = dense.astype(INDEX_DTYPE)
+    order = np.argsort(dense, kind="stable")
+    sorted_labels = dense[order]
+    boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+    members = np.split(np.arange(labels.shape[0], dtype=INDEX_DTYPE)[order], boundaries)
+    groups = [np.sort(m) for m in members]
+    return Grouping(labels=dense, groups=groups)
+
+
+def grouping_from_groups(n: int, groups: Sequence[Sequence[int]]) -> Grouping:
+    """Build a :class:`Grouping` from explicit member lists covering ``0..n-1``."""
+    labels = np.full(n, -1, dtype=INDEX_DTYPE)
+    norm: List[np.ndarray] = []
+    for gid, members in enumerate(groups):
+        arr = np.sort(np.asarray(list(members), dtype=INDEX_DTYPE))
+        if arr.size and (labels[arr] != -1).any():
+            raise ValueError("groups overlap")
+        labels[arr] = gid
+        norm.append(arr)
+    if (labels == -1).any():
+        raise ValueError("groups do not cover all vertices")
+    return Grouping(labels=labels, groups=norm)
+
+
+def identity_grouping(n: int) -> Grouping:
+    """Every vertex is its own group (used when step 1 is disabled)."""
+    ids = np.arange(n, dtype=INDEX_DTYPE)
+    return Grouping(labels=ids, groups=[np.array([v], dtype=INDEX_DTYPE) for v in range(n)])
+
+
+def coarsen_dag(g: DAG, grouping: Grouping) -> DAG:
+    """The coarsened DAG ``G''``: one vertex per group, deduplicated edges.
+
+    Self-loops created by intra-group edges are dropped.  The result is
+    acyclic whenever every group is *convex* in ``g`` (true for the subtree
+    groups of HDagg step 1, whose members form contiguous dependence chains
+    into a single sink).
+    """
+    src, dst = g.edge_list()
+    gs, gd = grouping.labels[src], grouping.labels[dst]
+    keep = gs != gd
+    return DAG.from_edges(grouping.n_groups, gs[keep], gd[keep], dedup=True)

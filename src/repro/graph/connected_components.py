@@ -1,0 +1,112 @@
+"""Connected components via a vectorized Shiloach-Vishkin variant.
+
+HDagg's step 2 repeatedly finds the connected components (edges treated as
+undirected) of the subgraph induced by a *range of wavefronts* (Algorithm 1,
+Line 25).  The paper uses a Shiloach-Vishkin [12] variant; we implement the
+classic hook-and-jump scheme with NumPy array operations so each round is a
+constant number of vectorized passes over the edge arrays — the same
+data-parallel structure as the original PRAM algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sparse.csr import INDEX_DTYPE
+from .dag import DAG
+
+__all__ = [
+    "shiloach_vishkin",
+    "connected_components_of_subset",
+    "components_as_lists",
+]
+
+
+def shiloach_vishkin(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Component label of each of ``n`` vertices given undirected edges.
+
+    Labels are the minimum vertex id of the component, so they are
+    deterministic and stable across runs.
+
+    Implementation: iterated *hooking* (point the parent of the larger-rooted
+    endpoint at the smaller root) followed by full *pointer jumping* until a
+    fixed point.  Each round is O(E + V) vectorized work and at least halves
+    the depth of the parent forest, giving the familiar O(E log V) total.
+    """
+    parent = np.arange(n, dtype=INDEX_DTYPE)
+    if src.size == 0:
+        return parent
+    src = np.asarray(src, dtype=INDEX_DTYPE)
+    dst = np.asarray(dst, dtype=INDEX_DTYPE)
+    while True:
+        ps, pd = parent[src], parent[dst]
+        lo = np.minimum(ps, pd)
+        hi = np.maximum(ps, pd)
+        active = lo != hi
+        if not np.any(active):
+            break
+        # Hook: parent[hi] = min over all incident lo.  np.minimum.at gives a
+        # deterministic result regardless of edge order.
+        np.minimum.at(parent, hi[active], lo[active])
+        # Pointer jumping to full compression.
+        while True:
+            pp = parent[parent]
+            if np.array_equal(pp, parent):
+                break
+            parent = pp
+    return parent
+
+
+def connected_components_of_subset(g: DAG, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Components of the subgraph of ``g`` induced by ``vertices``.
+
+    Returns ``(labels, verts)`` where ``verts`` is ``vertices`` sorted
+    ascending and ``labels[k]`` is the component label (a *local* index,
+    0-based, ordered by smallest member id) of ``verts[k]``.
+
+    Only edges with both endpoints inside the subset are considered, matching
+    ``CC(W[cut:i])`` in Algorithm 1.
+    """
+    verts = np.sort(np.asarray(vertices, dtype=INDEX_DTYPE))
+    m = verts.shape[0]
+    if m == 0:
+        return np.empty(0, dtype=INDEX_DTYPE), verts
+    # local re-indexing: global id -> position in verts
+    local = np.full(g.n, -1, dtype=INDEX_DTYPE)
+    local[verts] = np.arange(m, dtype=INDEX_DTYPE)
+    # gather out-edges of subset vertices
+    starts = g.indptr[verts]
+    counts = g.indptr[verts + 1] - starts
+    total = int(counts.sum())
+    if total:
+        cum = np.cumsum(counts)
+        within = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(cum - counts, counts)
+        dst_g = g.indices[np.repeat(starts, counts) + within]
+        src_l = np.repeat(np.arange(m, dtype=INDEX_DTYPE), counts)
+        dst_l = local[dst_g]
+        keep = dst_l >= 0
+        src_l, dst_l = src_l[keep], dst_l[keep]
+    else:
+        src_l = dst_l = np.empty(0, dtype=INDEX_DTYPE)
+    roots = shiloach_vishkin(m, src_l, dst_l)
+    # densify root labels to 0..k-1 ordered by root (== smallest member id)
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(INDEX_DTYPE), verts
+
+
+def components_as_lists(g: DAG, vertices: np.ndarray) -> List[np.ndarray]:
+    """Components of the induced subgraph as a list of sorted id arrays.
+
+    Ordered by smallest member id, which keeps downstream bin packing
+    deterministic ("smallest ID first" spatial-locality rule, Section IV-C).
+    """
+    labels, verts = connected_components_of_subset(g, vertices)
+    if verts.size == 0:
+        return []
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    sorted_verts = verts[order]
+    boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+    return [np.ascontiguousarray(part) for part in np.split(sorted_verts, boundaries)]

@@ -1,0 +1,143 @@
+"""Synthetic DAG generators: structure families without a matrix behind them.
+
+The kernel builders produce DAGs from matrices; these generators produce the
+*shape classes* directly — layered random DAGs, forests, chains, fans,
+series-parallel compositions — for scheduler unit tests, fuzzing, and
+benchmarks that want to vary DAG structure independently of sparsity
+patterns.  All are id-topological (every edge ``src < dst``) to match the
+kernel builders' contract, and all are seeded/deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import INDEX_DTYPE
+from .dag import DAG
+
+__all__ = [
+    "layered_dag",
+    "random_forest",
+    "chain_dag",
+    "fan_dag",
+    "series_parallel_dag",
+]
+
+
+def layered_dag(
+    n_layers: int,
+    layer_width: int,
+    *,
+    edge_prob: float = 0.3,
+    seed: int = 0,
+) -> DAG:
+    """Random layered DAG: edges only between consecutive layers.
+
+    Its wavefronts equal the layers exactly, so level-based schedulers see
+    ``n_layers`` levels of ``layer_width`` vertices — the cleanest testbed
+    for coarsening behaviour.
+    """
+    if n_layers < 1 or layer_width < 1:
+        raise ValueError("n_layers and layer_width must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = n_layers * layer_width
+    src_list = []
+    dst_list = []
+    for layer in range(n_layers - 1):
+        lo = layer * layer_width
+        hi = lo + layer_width
+        mask = rng.random((layer_width, layer_width)) < edge_prob
+        # guarantee every next-layer vertex has at least one parent so the
+        # wavefront structure is exactly the layers
+        for j in range(layer_width):
+            if not mask[:, j].any():
+                mask[rng.integers(layer_width), j] = True
+        s, d = np.nonzero(mask)
+        src_list.append(s + lo)
+        dst_list.append(d + hi)
+    if not src_list:
+        return DAG.empty(n)
+    return DAG.from_edges(
+        n, np.concatenate(src_list), np.concatenate(dst_list), dedup=False
+    )
+
+
+def random_forest(n: int, *, n_roots: int = 1, seed: int = 0) -> DAG:
+    """Random forest with edges child -> parent (parents have larger ids).
+
+    Every non-root vertex gets exactly one out-edge to a random
+    larger-id vertex; the last ``n_roots`` vertices are sinks.  This is the
+    tree-DAG regime (LBC's home, HDagg step 1's degenerate case).
+    """
+    if n_roots < 1 or n_roots > n:
+        raise ValueError("need 1 <= n_roots <= n")
+    rng = np.random.default_rng(seed)
+    src = []
+    dst = []
+    for v in range(n - n_roots):
+        parent = int(rng.integers(v + 1, n))
+        src.append(v)
+        dst.append(parent)
+    return DAG.from_edges(n, src, dst, dedup=False)
+
+
+def chain_dag(n: int) -> DAG:
+    """A single path ``0 -> 1 -> ... -> n-1`` (zero parallelism)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return DAG.from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def fan_dag(n_sources: int, *, gather: bool = True) -> DAG:
+    """``n_sources`` independent vertices optionally gathered by one sink.
+
+    Maximal width (and, with ``gather``, the heaviest possible in-degree) —
+    the bin-packing stress shape.
+    """
+    if n_sources < 1:
+        raise ValueError("n_sources must be >= 1")
+    if not gather:
+        return DAG.empty(n_sources)
+    n = n_sources + 1
+    return DAG.from_edges(
+        n, list(range(n_sources)), [n_sources] * n_sources, dedup=False
+    )
+
+
+def series_parallel_dag(depth: int, *, branching: int = 2, seed: int = 0) -> DAG:
+    """Recursive series-parallel DAG between one source and one sink.
+
+    At each level the block either chains two sub-blocks (series) or runs
+    ``branching`` sub-blocks between shared endpoints (parallel); the
+    recursion bottoms out at single edges.  Classic scheduling-theory
+    shapes with well-understood optimal makespans.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    counter = [1]  # next fresh vertex id; 0 is the global source
+
+    def build(u: int, d: int) -> int:
+        """Build a block hanging from ``u``; returns its exit vertex."""
+        if d == 0:
+            v = counter[0]
+            counter[0] += 1
+            edges.append((u, v))
+            return v
+        if rng.random() < 0.5:  # series
+            mid = build(u, d - 1)
+            return build(mid, d - 1)
+        # parallel: branches join at a fresh vertex
+        exits = [build(u, d - 1) for _ in range(branching)]
+        join = counter[0]
+        counter[0] += 1
+        for e in exits:
+            edges.append((e, join))
+        return join
+
+    build(0, depth)
+    n = counter[0]
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    return DAG.from_edges(n, src, dst)

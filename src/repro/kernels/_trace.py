@@ -1,0 +1,81 @@
+"""Shared memory-trace construction for factorisation kernels.
+
+Both SpIC0 and SpILU0 have the access shape "iteration ``i`` streams its own
+row, then the previously-factored row ``k`` for every stored entry
+``(i, k)`` with ``k < i``".  This module builds that ragged trace fully
+vectorized (the construction itself is O(total trace length) NumPy work).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE
+from .base import lines_of_rows
+
+__all__ = ["trace_self_plus_lower_neighbors"]
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """For parallel (starts, counts): flat positions and per-position offsets.
+
+    Returns ``(base, within)`` so that ``base + within`` enumerates
+    ``starts[k] .. starts[k] + counts[k] - 1`` for every ``k`` in order.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=INDEX_DTYPE)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(cum - counts, counts)
+    return np.repeat(starts, counts), within
+
+
+def trace_self_plus_lower_neighbors(
+    a: CSRMatrix, *, line_elems: int = 8
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-iteration cache-line trace for up-looking factorisations.
+
+    ``a`` supplies both the row storage (own-row lines) and the dependence
+    pattern (stored ``(i, k)`` with ``k < i`` pulls in row ``k``'s lines).
+    Returns ``(ptr, lines)`` ragged CSR: iteration ``i`` touches
+    ``lines[ptr[i]:ptr[i+1]]`` in order (own row first, then neighbours in
+    ascending ``k``).
+    """
+    n = a.n_rows
+    per_row_lines, line_base = lines_of_rows(a, line_elems=line_elems)
+
+    row_of = np.repeat(np.arange(n, dtype=INDEX_DTYPE), a.row_nnz())
+    below = a.indices < row_of
+    edge_row = row_of[below]           # iteration i  (sorted, CSR order)
+    edge_k = a.indices[below]          # neighbour row k < i (ascending per i)
+
+    neighbor_lines_per_edge = per_row_lines[edge_k]
+    neighbor_total_per_row = np.zeros(n, dtype=INDEX_DTYPE)
+    np.add.at(neighbor_total_per_row, edge_row, neighbor_lines_per_edge)
+
+    tot = per_row_lines + neighbor_total_per_row
+    ptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(tot, out=ptr[1:])
+    lines = np.empty(int(ptr[-1]), dtype=INDEX_DTYPE)
+
+    # Part A: own-row lines at the start of each iteration's trace.
+    baseA, withinA = _expand_ranges(ptr[:-1], per_row_lines)
+    lines[baseA + withinA] = (
+        np.repeat(line_base[:-1], per_row_lines) + withinA
+    )
+
+    # Part B: neighbour rows, packed after part A in edge (CSR) order.
+    if edge_row.size:
+        excl = np.cumsum(neighbor_lines_per_edge) - neighbor_lines_per_edge
+        # rebase the exclusive cumsum to restart at each iteration's first edge
+        first_of_row = np.concatenate(([True], np.diff(edge_row) != 0))
+        edges_per_row = np.bincount(edge_row, minlength=n)[edge_row[first_of_row]]
+        row_base = np.repeat(excl[first_of_row], edges_per_row)
+        offset_within_iter = excl - row_base
+        edge_start = ptr[edge_row] + per_row_lines[edge_row] + offset_within_iter
+        baseB, withinB = _expand_ranges(edge_start, neighbor_lines_per_edge)
+        valB_base, valB_within = _expand_ranges(line_base[edge_k], neighbor_lines_per_edge)
+        lines[baseB + withinB] = valB_base + valB_within
+    return ptr, lines

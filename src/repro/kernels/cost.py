@@ -1,0 +1,68 @@
+"""Per-iteration cost functions: "number of non-zero elements touched".
+
+Section IV-A of the paper adopts the LBC cost model: the cost of iteration
+``i`` is the number of non-zeros its computation touches.  The three kernels
+touch different sets:
+
+* SpTRSV row ``i`` streams row ``i`` of ``L`` once: ``cost = nnz(L, i)``.
+* SpIC0 row ``i`` touches row ``i`` of the lower factor plus, for every
+  stored ``L[i, j]`` with ``j < i``, the prefix of factored row ``j``:
+  ``cost = nnz(i) + sum_j nnz(j)`` over lower neighbours (an upper bound on
+  the merge length, computable in O(nnz)).
+* SpILU0 row ``i`` touches row ``i`` of ``A`` plus the updating rows ``k``
+  for every stored ``A[i, k]``, ``k < i``: same shape over the full rows.
+
+All functions are vectorized: a gather of row sizes followed by a segmented
+sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE
+
+__all__ = ["sptrsv_cost", "spic0_cost", "spilu0_cost", "uniform_cost"]
+
+
+def _self_plus_lower_neighbor_rows(a: CSRMatrix, row_sizes: np.ndarray) -> np.ndarray:
+    """``cost[i] = row_sizes[i] + sum(row_sizes[j] for stored (i, j), j < i)``."""
+    n = a.n_rows
+    row_of = np.repeat(np.arange(n, dtype=INDEX_DTYPE), a.row_nnz())
+    below = a.indices < row_of
+    contrib = row_sizes[a.indices[below]].astype(np.float64)
+    cost = row_sizes.astype(np.float64).copy()
+    np.add.at(cost, row_of[below], contrib)
+    return cost
+
+
+def sptrsv_cost(low: CSRMatrix) -> np.ndarray:
+    """SpTRSV cost: non-zeros of each row of ``L`` (float64, length ``n``)."""
+    return low.row_nnz().astype(np.float64)
+
+
+def spic0_cost(a: CSRMatrix) -> np.ndarray:
+    """SpIC0 cost over the lower triangle of ``a``.
+
+    ``a`` may be the full symmetric matrix or already lower-triangular; only
+    entries with ``col <= row`` participate.
+    """
+    n = a.n_rows
+    row_of = np.repeat(np.arange(n, dtype=INDEX_DTYPE), a.row_nnz())
+    in_lower = a.indices <= row_of
+    lower_sizes = np.zeros(n, dtype=INDEX_DTYPE)
+    np.add.at(lower_sizes, row_of[in_lower], 1)
+    below = a.indices < row_of
+    cost = lower_sizes.astype(np.float64).copy()
+    np.add.at(cost, row_of[below], lower_sizes[a.indices[below]].astype(np.float64))
+    return cost
+
+
+def spilu0_cost(a: CSRMatrix) -> np.ndarray:
+    """SpILU0 cost over the full pattern of ``a``."""
+    return _self_plus_lower_neighbor_rows(a, a.row_nnz())
+
+
+def uniform_cost(n: int) -> np.ndarray:
+    """Unit cost per iteration (ablation control for the cost model)."""
+    return np.ones(n, dtype=np.float64)

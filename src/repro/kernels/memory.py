@@ -1,0 +1,84 @@
+"""Edge-based memory model: what each iteration reads from whom.
+
+The locality story of the paper (Sections I, V-A) is about *dependence
+data*: iteration ``v`` consumes data produced by every ``u`` with an edge
+``u -> v`` — ``x[u]`` for SpTRSV, the factored row ``u`` for SpIC0/SpILU0.
+That data is a cache hit only when ``u`` ran recently *on the same core*;
+on any other core it is a coherence/remote miss no matter how big the cache
+is.  Grouping dependent iterations onto one core (HDagg step 1, and the
+smallest-id-first bin order) is precisely what converts this traffic into
+hits.
+
+:class:`MemoryModel` captures the two access classes per kernel:
+
+* ``stream_lines[v]`` — lines iteration ``v`` streams through
+  unconditionally (its own row of the operand/factor): cold, always misses;
+* ``edge_lines[e]`` — lines transferred along dependence edge ``e``
+  (aligned with ``dag.edge_list()``): hit iff producer and consumer share a
+  core within the reuse window.
+
+The line counts reuse :func:`repro.kernels.base.lines_of_rows` (64-byte
+lines, 8 doubles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.csr import CSRMatrix
+from .base import lines_of_rows
+
+__all__ = ["MemoryModel", "sptrsv_memory_model", "factor_memory_model"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-vertex streaming lines + per-edge dependence lines for one kernel run."""
+
+    stream_lines: np.ndarray  # (n,) lines streamed by each iteration
+    edge_lines: np.ndarray  # (n_edges,) lines consumed along each DAG edge
+
+    @property
+    def total_stream(self) -> int:
+        return int(self.stream_lines.sum())
+
+    @property
+    def total_edge(self) -> int:
+        return int(self.edge_lines.sum())
+
+    @property
+    def total_accesses(self) -> int:
+        """All modelled line accesses of one kernel execution."""
+        return self.total_stream + self.total_edge
+
+    def validate(self, g: DAG) -> None:
+        if self.stream_lines.shape[0] != g.n:
+            raise ValueError("stream_lines length mismatch")
+        if self.edge_lines.shape[0] != g.n_edges:
+            raise ValueError("edge_lines length mismatch")
+
+
+def sptrsv_memory_model(low: CSRMatrix, g: DAG, *, line_elems: int = 8) -> MemoryModel:
+    """SpTRSV: stream row ``i`` of ``L`` (+1 line for ``x[i]``); each edge
+    ``u -> v`` moves the single line holding ``x[u]``."""
+    per_row_lines, _ = lines_of_rows(low, line_elems=line_elems)
+    stream = per_row_lines.astype(np.float64) + 1.0  # own row + write of x[i]
+    edges = np.ones(g.n_edges, dtype=np.float64)
+    return MemoryModel(stream_lines=stream, edge_lines=edges)
+
+
+def factor_memory_model(rows: CSRMatrix, g: DAG, *, line_elems: int = 8) -> MemoryModel:
+    """SpIC0/SpILU0: stream row ``i`` of the factor storage; each edge
+    ``u -> v`` re-reads factored row ``u`` (its full line count).
+
+    ``rows`` is the storage whose row sizes matter: the lower triangle for
+    SpIC0, the full pattern for SpILU0.
+    """
+    per_row_lines, _ = lines_of_rows(rows, line_elems=line_elems)
+    stream = per_row_lines.astype(np.float64)
+    src, _ = g.edge_list()
+    edges = per_row_lines[src].astype(np.float64)
+    return MemoryModel(stream_lines=stream, edge_lines=edges)

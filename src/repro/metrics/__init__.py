@@ -1,0 +1,44 @@
+"""Evaluation metrics: the paper's locality / load-balance / sync trio plus
+structural indicators, NRE, and correlation fits."""
+
+from .correlation import LinearFit, linear_fit, r_squared
+from .load_balance import imbalance_ratio, level_widths, measured_pg
+from .locality import avg_memory_access_latency, locality_improvement
+from .nre import INSPECTOR_CONSTANTS, inspector_cost_model, inspector_operations, nre, two_hop_ops
+from .parallelism import (
+    DagShape,
+    avg_nnz_per_wavefront,
+    average_parallelism,
+    dag_shape,
+    span_speedup_bound,
+    weighted_critical_path,
+)
+from .reuse import ReuseProfile, reuse_profile
+from .synchronization import barrier_equivalent, equivalent_p2p_syncs, sync_improvement
+
+__all__ = [
+    "measured_pg",
+    "imbalance_ratio",
+    "level_widths",
+    "avg_memory_access_latency",
+    "locality_improvement",
+    "equivalent_p2p_syncs",
+    "sync_improvement",
+    "barrier_equivalent",
+    "average_parallelism",
+    "avg_nnz_per_wavefront",
+    "dag_shape",
+    "weighted_critical_path",
+    "span_speedup_bound",
+    "DagShape",
+    "reuse_profile",
+    "ReuseProfile",
+    "nre",
+    "inspector_cost_model",
+    "inspector_operations",
+    "two_hop_ops",
+    "INSPECTOR_CONSTANTS",
+    "linear_fit",
+    "r_squared",
+    "LinearFit",
+]

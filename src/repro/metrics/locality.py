@@ -1,0 +1,26 @@
+"""Locality metrics: average memory access latency and improvement ratios.
+
+The paper's locality metric (Section V-A, [18]) is the average memory
+access latency; in the reproduction it comes from the coherence-aware cache
+model inside the simulator.  Improvements are reported the way the paper's
+Table II does: baseline latency divided by HDagg latency (>1 means HDagg is
+better)."""
+
+from __future__ import annotations
+
+from ..runtime.simulator import SimulationResult
+
+__all__ = ["avg_memory_access_latency", "locality_improvement"]
+
+
+def avg_memory_access_latency(result: SimulationResult) -> float:
+    """Hit/miss-weighted mean latency per line access (lower is better)."""
+    return result.avg_memory_access_latency
+
+
+def locality_improvement(hdagg: SimulationResult, baseline: SimulationResult) -> float:
+    """``baseline latency / hdagg latency`` — > 1 when HDagg has better locality."""
+    h = hdagg.avg_memory_access_latency
+    if h <= 0.0:
+        return float("inf") if baseline.avg_memory_access_latency > 0 else 1.0
+    return baseline.avg_memory_access_latency / h

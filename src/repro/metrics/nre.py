@@ -1,0 +1,100 @@
+"""NRE: Number of Required kernel Executions to amortise inspection.
+
+Equation 2 of the paper::
+
+    NRE = inspector_time / (sequential_time - parallel_time)
+
+Kernel times come from the execution simulator.  Inspector times need care:
+the paper's inspectors are optimised C++, so wall-clocking our Python
+implementations would mis-rank them (Python constant factors differ wildly
+from C++ ones).  Instead each inspector's cost is *modelled* from its
+asymptotic operation count (the same complexity analysis as Section IV-E)
+with per-algorithm constants calibrated once against the paper's reported
+SpTRSV averages (DAGP ≈ 5305, LBC ≈ 24, SpMP ≈ 21, HDagg ≈ 16,
+Wavefront ≈ 9.4).  The calibration fixes scale only; the *growth* with
+|V|, |E|, D and wavefront count is structural.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..graph.dag import DAG
+from ..runtime.simulator import SimulationResult
+
+__all__ = ["two_hop_ops", "inspector_operations", "inspector_cost_model", "nre", "INSPECTOR_CONSTANTS"]
+
+#: Calibrated cycles-per-operation constants per inspector (one global
+#: calibration against the paper's reported SpTRSV NRE averages; the
+#: operation counts below them are structural).
+INSPECTOR_CONSTANTS = {
+    "wavefront": 860.0,   # one Kahn/level sweep over V + E
+    "mkl": 2000.0,        # vendor inspector: several analysis sweeps
+    "spmp": 490.0,        # two-hop reduction + level grouping
+    "lbc": 107.0,         # etree + cut scan + packing
+    "hdagg": 225.0,       # two-hop reduction + BFS grouping + per-merge CC
+    "dagp": 30000.0,      # multilevel partitioning + refinement passes
+}
+
+
+def two_hop_ops(g: DAG) -> float:
+    """Exact operation count of the two-hop transitive reduction.
+
+    ``sum over vertices f of sum over parents j of indeg(j)`` — the
+    ``|E| * E[D]`` term of Section IV-E, computed exactly.
+    """
+    indeg = g.in_degree()
+    return float(indeg[g.in_idx].sum()) + g.n + g.n_edges
+
+
+def inspector_operations(algorithm: str, g: DAG, schedule: Schedule | None = None) -> float:
+    """Structural operation count of one inspector (the Section IV-E terms)."""
+    v, e = g.n, g.n_edges
+    base = v + e
+    if algorithm in ("wavefront", "mkl"):
+        return float(base)
+    if algorithm == "spmp":
+        return two_hop_ops(g) + base
+    if algorithm == "lbc":
+        return float(e + 48 * v + base)
+    if algorithm == "hdagg":
+        merges = 1
+        if schedule is not None and "n_wavefronts" in schedule.meta:
+            merges = max(1, int(schedule.meta["n_wavefronts"]))
+        coarse_e = e
+        if schedule is not None and "n_coarse_vertices" in schedule.meta:
+            # merged-range CC runs on the coarsened DAG
+            coarse_e = min(e, max(1, int(schedule.meta["n_coarse_vertices"]) * 4))
+        return (
+            two_hop_ops(g)
+            + 2 * base
+            + merges * coarse_e / max(1.0, math.log2(v + 2))
+        )
+    if algorithm == "dagp":
+        return e * math.log2(v + 2)
+    if algorithm == "serial":
+        return 0.0
+    raise ValueError(f"no inspector cost model for {algorithm!r}")
+
+
+def inspector_cost_model(algorithm: str, g: DAG, schedule: Schedule | None = None) -> float:
+    """Modelled inspector cost in machine cycles for one algorithm/DAG pair."""
+    ops = inspector_operations(algorithm, g, schedule)
+    if algorithm == "serial":
+        return 0.0
+    return INSPECTOR_CONSTANTS[algorithm] * ops
+
+
+def nre(
+    inspector_cycles: float,
+    serial_result: SimulationResult,
+    parallel_result: SimulationResult,
+) -> float:
+    """Equation 2.  Returns ``inf`` when the schedule gives no speedup."""
+    gain = serial_result.makespan_cycles - parallel_result.makespan_cycles
+    if gain <= 0.0:
+        return float("inf")
+    return inspector_cycles / gain

@@ -1,0 +1,120 @@
+"""DAG-structure metrics: average parallelism and per-wavefront volume.
+
+Section V uses two structural indicators to bucket the dataset (Table III):
+
+* **average parallelism** — vertices divided by wavefront count ("an
+  indicator for load balance");
+* **average nnz per wavefront** — non-zeros touched per level ("a measure
+  for potential locality improvement": more data per level means more reuse
+  available to whoever groups dependent iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.dag import DAG
+from ..graph.wavefronts import compute_wavefronts
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "average_parallelism",
+    "avg_nnz_per_wavefront",
+    "DagShape",
+    "dag_shape",
+    "weighted_critical_path",
+    "span_speedup_bound",
+]
+
+
+def average_parallelism(g: DAG) -> float:
+    """``n_vertices / n_wavefronts`` of the dependence DAG."""
+    if g.n == 0:
+        return 0.0
+    waves = compute_wavefronts(g)
+    return g.n / waves.n_levels
+
+
+def avg_nnz_per_wavefront(a: CSRMatrix, g: DAG) -> float:
+    """Matrix non-zeros divided by the DAG's wavefront count."""
+    if g.n == 0:
+        return 0.0
+    waves = compute_wavefronts(g)
+    return a.nnz / waves.n_levels
+
+
+@dataclass(frozen=True)
+class DagShape:
+    """Structural summary of one kernel DAG (used for Table III bucketing)."""
+
+    n_vertices: int
+    n_edges: int
+    n_wavefronts: int
+    critical_path: int
+    average_parallelism: float
+    max_wavefront: int
+
+
+def dag_shape(g: DAG) -> DagShape:
+    """Compute a :class:`DagShape` in one wavefront pass."""
+    if g.n == 0:
+        return DagShape(0, 0, 0, 0, 0.0, 0)
+    waves = compute_wavefronts(g)
+    sizes = waves.sizes()
+    return DagShape(
+        n_vertices=g.n,
+        n_edges=g.n_edges,
+        n_wavefronts=waves.n_levels,
+        critical_path=waves.n_levels,
+        average_parallelism=g.n / waves.n_levels,
+        max_wavefront=int(sizes.max()),
+    )
+
+
+def weighted_critical_path(g: DAG, weights) -> float:
+    """Longest weighted path through the DAG (the *span* of the computation).
+
+    ``weights[v]`` is the cost of vertex ``v``; the span lower-bounds every
+    execution's makespan regardless of core count (the span law), and
+    ``total / span`` upper-bounds any speedup.  Computed with one
+    vectorized Kahn sweep.
+    """
+    import numpy as np
+
+    from ..graph.dag import gather_slices
+    from ..graph.topological import CycleError
+
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape[0] != g.n:
+        raise ValueError(f"weights has length {weights.shape[0]}, expected {g.n}")
+    if g.n == 0:
+        return 0.0
+    indeg = g.in_degree().copy()
+    finish = weights.copy()  # earliest possible finish of each vertex
+    frontier = np.nonzero(indeg == 0)[0]
+    seen = 0
+    while frontier.size:
+        seen += frontier.size
+        children = gather_slices(g.indptr, g.indices, frontier)
+        if children.size:
+            # relax child finishes against each frontier parent
+            src = np.repeat(frontier, np.diff(g.indptr)[frontier])
+            cand = finish[src] + weights[children]
+            np.maximum.at(finish, children, cand)
+            dec = np.bincount(children, minlength=g.n)
+            indeg -= dec
+            frontier = np.nonzero((indeg == 0) & (dec > 0))[0]
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+    if seen != g.n:
+        raise CycleError("graph has a cycle")
+    return float(finish.max())
+
+
+def span_speedup_bound(g: DAG, weights) -> float:
+    """The span-law speedup ceiling: ``sum(weights) / critical path``."""
+    import numpy as np
+
+    span = weighted_critical_path(g, weights)
+    total = float(np.asarray(weights, dtype=np.float64).sum())
+    return total / span if span > 0 else float("inf")

@@ -1,0 +1,38 @@
+"""Synchronisation metrics.
+
+The paper counts point-to-point synchronisations and converts global
+barriers with ``p * log2(p)`` equivalent point-to-point operations
+(Section V-A, following [4]).  :func:`equivalent_p2p_syncs` applies that
+conversion so barrier-based and p2p-based schedules are comparable on one
+axis (Figure 6 right, Table II bottom rows)."""
+
+from __future__ import annotations
+
+import math
+
+from ..runtime.simulator import SimulationResult
+
+__all__ = ["equivalent_p2p_syncs", "sync_improvement", "barrier_equivalent"]
+
+
+def barrier_equivalent(n_barriers: int, p: int) -> float:
+    """Equivalent point-to-point count of ``n_barriers`` global barriers.
+
+    >>> barrier_equivalent(3, 8)   # 3 barriers on 8 cores: 3 * 8 * log2(8)
+    72.0
+    """
+    return n_barriers * p * max(1.0, math.log2(p))
+
+
+def equivalent_p2p_syncs(result: SimulationResult, p: int) -> float:
+    """Total synchronisation in point-to-point units (barriers converted)."""
+    return barrier_equivalent(result.n_barriers, p) + result.n_p2p_syncs
+
+
+def sync_improvement(hdagg: SimulationResult, baseline: SimulationResult, p: int) -> float:
+    """``baseline syncs / hdagg syncs`` — > 1 when HDagg synchronises less."""
+    h = equivalent_p2p_syncs(hdagg, p)
+    b = equivalent_p2p_syncs(baseline, p)
+    if h <= 0.0:
+        return float("inf") if b > 0 else 1.0
+    return b / h

@@ -1,0 +1,28 @@
+"""Runtime layer: machine models, cache model, simulator, executors."""
+
+from .cache import LRUCache, per_vertex_memory_cycles, reuse_window_hits
+from .exact import ExactCacheStats, simulate_cache_exact
+from .executor import execute_schedule, interleaved_order
+from .machine import AMD64, INTEL20, LAPTOP4, MACHINES, MachineConfig
+from .simulator import SimulationResult, bind_dynamic_partitions, simulate
+from .threaded import ThreadedExecutionError, run_threaded
+
+__all__ = [
+    "MachineConfig",
+    "INTEL20",
+    "AMD64",
+    "LAPTOP4",
+    "MACHINES",
+    "LRUCache",
+    "reuse_window_hits",
+    "per_vertex_memory_cycles",
+    "simulate",
+    "simulate_cache_exact",
+    "ExactCacheStats",
+    "SimulationResult",
+    "bind_dynamic_partitions",
+    "execute_schedule",
+    "run_threaded",
+    "ThreadedExecutionError",
+    "interleaved_order",
+]

@@ -1,0 +1,156 @@
+"""Machine models: the simulated stand-ins for the paper's testbeds.
+
+The evaluation machines (Section V) are a 20-core Intel Xeon Gold 6248
+(2.5 GHz, 28 MB LLC) and a 64-core AMD EPYC 7742 (2.25 GHz, 256 MB LLC).
+Neither the silicon nor its PAPI counters are available to a pure-Python
+reproduction, so :class:`MachineConfig` captures the handful of parameters
+the paper's three metrics actually depend on:
+
+* ``n_cores`` — width of the schedule;
+* ``cache_lines_per_core`` — private capacity of the per-core LRU model
+  (L2 plus the core's LLC share, in 64-byte lines);
+* ``hit_cycles`` / ``miss_cycles`` — the two levels of the memory-latency
+  model, whose access-weighted mean is the paper's "average memory access
+  latency" locality metric;
+* ``cycles_per_cost_unit`` — compute cycles per non-zero touched;
+* ``p2p_sync_cycles`` — cost of one point-to-point synchronisation; a
+  global barrier costs ``p * log2(p)`` of these, the same conversion the
+  paper uses to compare sync counts (Section V-A).
+
+The constants are order-of-magnitude hardware values; every comparison in
+the harness is *relative* (HDagg vs baseline on the same machine model), so
+shapes are insensitive to their exact calibration.
+
+**Dataset scaling.**  The paper's matrices span 5.1e5 - 5.9e7 non-zeros;
+the pure-Python suite scales them down by roughly ``DATASET_SCALE = 64x``
+to keep inspection tractable (DESIGN.md).  Two derived constants keep the
+*regimes* of the scaled pair faithful to the real pair:
+
+* ``CACHE_SCALE`` divides the physical per-core cache capacities.  What
+  matters for locality is the reuse *reach* — how many wavefronts back a
+  dependence can still hit.  Footprint-per-level scales sub-linearly with
+  matrix size (levels grow with the critical path), so capacity must
+  shrink faster than size; 256x places the large third of the suite in
+  the capacity-bound regime and the small third in the cache-resident
+  regime, the same split the paper's Table III buckets exhibit.
+* ``SYNC_SCALE`` divides the physical synchronisation latencies, keeping
+  the work-per-level : barrier-cost ratio of the scaled pair at the
+  testbed's few-percent level instead of letting barriers dominate the
+  much smaller scaled levels.
+
+Both constants are calibrated once, globally — never per algorithm or per
+matrix — so all comparisons remain like-for-like.  EXPERIMENTS.md records
+the calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "INTEL20", "AMD64", "LAPTOP4", "MACHINES", "DATASET_SCALE", "CACHE_SCALE", "SYNC_SCALE"]
+
+#: Factor by which the matrix suite is scaled down vs the paper's dataset.
+DATASET_SCALE = 64
+
+#: Divisor applied to physical cache capacities (see module docstring).
+CACHE_SCALE = 256
+
+#: Divisor applied to physical synchronisation latencies (see module docstring).
+SYNC_SCALE = 20
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of one simulated multicore machine."""
+
+    name: str
+    n_cores: int
+    cache_lines_per_core: int
+    hit_cycles: float = 4.0
+    miss_cycles: float = 150.0
+    cycles_per_cost_unit: float = 2.0
+    p2p_sync_cycles: float = 100.0
+    #: Optional memory-bandwidth contention: each concurrently active core
+    #: inflates miss latency by this fraction (0 = unthrottled, the default
+    #: calibration; see docs/MODEL.md "what the model does not capture").
+    bandwidth_contention: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.cache_lines_per_core < 1:
+            raise ValueError("cache_lines_per_core must be >= 1")
+
+    @property
+    def barrier_cycles(self) -> float:
+        """Cost of one global barrier: ``p * log2(p)`` point-to-point syncs.
+
+        This is the paper's equivalence rule for counting synchronisation,
+        applied to latency as well (tree-structured barrier).
+        """
+        p = self.n_cores
+        return p * max(1.0, math.log2(p)) * self.p2p_sync_cycles
+
+    def scaled(self, n_cores: int) -> "MachineConfig":
+        """Same machine with a different active core count.
+
+        LLC is shared, so the per-core share grows as cores shrink; the
+        private-L2 part is approximated as 40% of the configured capacity.
+        """
+        private = int(0.4 * self.cache_lines_per_core)
+        shared_total = (self.cache_lines_per_core - private) * self.n_cores
+        return MachineConfig(
+            name=f"{self.name}@{n_cores}",
+            n_cores=n_cores,
+            cache_lines_per_core=private + shared_total // n_cores,
+            hit_cycles=self.hit_cycles,
+            miss_cycles=self.miss_cycles,
+            cycles_per_cost_unit=self.cycles_per_cost_unit,
+            p2p_sync_cycles=self.p2p_sync_cycles,
+            bandwidth_contention=self.bandwidth_contention,
+        )
+
+
+def _lines(n_bytes: float) -> int:
+    return int(n_bytes // 64)
+
+
+#: Intel Xeon Gold 6248 stand-in: 20 cores, 1 MB private L2 + 28 MB shared
+#: LLC, capacities divided by DATASET_SCALE (see module docstring).
+INTEL20 = MachineConfig(
+    name="intel20",
+    n_cores=20,
+    cache_lines_per_core=_lines((1.0 * 2**20 + 28 * 2**20 / 20) / CACHE_SCALE),
+    hit_cycles=4.0,
+    miss_cycles=150.0,
+    cycles_per_cost_unit=2.0,
+    p2p_sync_cycles=100.0 / SYNC_SCALE,
+)
+
+#: AMD EPYC 7742 stand-in: 64 cores, 512 KB private L2 + 256 MB shared LLC,
+#: capacities divided by DATASET_SCALE (see module docstring).
+AMD64 = MachineConfig(
+    name="amd64",
+    n_cores=64,
+    cache_lines_per_core=_lines((0.5 * 2**20 + 256 * 2**20 / 64) / CACHE_SCALE),
+    hit_cycles=4.0,
+    miss_cycles=200.0,
+    cycles_per_cost_unit=2.0,
+    p2p_sync_cycles=120.0 / SYNC_SCALE,
+)
+
+#: Small 4-core model for tests: a tiny cache makes locality effects visible
+#: on test-sized matrices.
+LAPTOP4 = MachineConfig(
+    name="laptop4",
+    n_cores=4,
+    cache_lines_per_core=128,
+    hit_cycles=4.0,
+    miss_cycles=120.0,
+    cycles_per_cost_unit=2.0,
+    p2p_sync_cycles=80.0 / SYNC_SCALE,
+)
+
+#: Registry used by the harness/CLI.
+MACHINES = {m.name: m for m in (INTEL20, AMD64, LAPTOP4)}

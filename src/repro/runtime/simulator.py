@@ -1,0 +1,332 @@
+"""Discrete-event execution simulator: the paper's testbed substitute.
+
+Given a schedule, the kernel's dependence DAG, per-iteration costs, and the
+kernel's :class:`~repro.kernels.memory.MemoryModel`, the simulator produces
+exactly the quantities the paper measures on hardware (Section V-A):
+
+* **runtime** — the makespan in model cycles, from which speedups are
+  computed;
+* **locality** — average memory access latency from the coherence-aware
+  memory model below;
+* **load balance** — per-core busy cycles, from which the measured
+  potential gain ``PG = 1 - mean/max`` is derived (Section IV-D);
+* **synchronisation** — global-barrier and point-to-point counts plus the
+  cycles they cost.
+
+Memory model
+------------
+Two access classes per iteration ``v`` (see :mod:`repro.kernels.memory`):
+
+* *streaming* — ``stream_lines[v]`` cold lines (own row of the operand):
+  always miss; identical for every scheduler.
+* *dependence* — for each DAG edge ``u -> v``, ``edge_lines[e]`` lines of
+  data produced by ``u``.  A **hit** requires (a) ``u`` and ``v`` on the
+  same core — on any other core the data arrives via the coherence fabric,
+  a miss regardless of capacity — and (b) fewer than
+  ``machine.cache_lines_per_core`` lines accessed on that core in between
+  (LRU eviction window).  This is the paper's central locality mechanism:
+  only executing dependent iterations on the same core, soon after one
+  another, turns their data reuse into cache hits.
+
+Timing model
+------------
+A vertex costs ``cost[v] * cycles_per_cost_unit`` compute cycles plus the
+latency of all its accesses.  Width-partitions run their vertices back to
+back on their core.
+
+``sync="barrier"``: a level ends when its slowest core finishes; a barrier
+(``machine.barrier_cycles``) separates consecutive levels.
+
+``sync="p2p"``: partitions are the synchronisation granularity (SpMP groups
+/ DAGP parts).  A partition starts at ``max(core clock, finish of every
+cross-partition dependence (+sync cost when cross-core))``; cores never
+wait at level boundaries, reproducing SpMP's overlap (Figure 1(b)).
+
+Fine-grained schedules (HDagg with bin packing disabled) are *bound* first:
+within each level, partitions are LPT-assigned to the least-loaded core —
+what a work-stealing OpenMP runtime achieves — then simulated as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.schedule import Schedule, WidthPartition
+from ..graph.dag import DAG
+from ..kernels.memory import MemoryModel
+from ..sparse.csr import INDEX_DTYPE
+from .machine import MachineConfig
+
+__all__ = ["SimulationResult", "simulate", "bind_dynamic_partitions"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything the metrics layer needs from one simulated execution."""
+
+    algorithm: str
+    machine: str
+    makespan_cycles: float
+    core_busy_cycles: np.ndarray
+    hits: int
+    misses: int
+    n_barriers: int
+    n_p2p_syncs: int
+    sync_cycles: float
+    hit_cycles: float = 4.0
+    miss_cycles: float = 150.0
+    #: Per-level spans (slowest core per coarsened wavefront) for barrier
+    #: schedules; empty for p2p schedules (no level boundaries at run time).
+    level_spans: list = None
+
+    @property
+    def total_accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def memory_cycles(self) -> float:
+        return self.hit_cycles * self.hits + self.miss_cycles * self.misses
+
+    @property
+    def avg_memory_access_latency(self) -> float:
+        """The paper's locality metric (lower is better)."""
+        if self.total_accesses == 0:
+            return 0.0
+        return self.memory_cycles / self.total_accesses
+
+    @property
+    def potential_gain(self) -> float:
+        """Measured PG: ``1 - mean(busy) / max(busy)`` over cores (Section IV-D)."""
+        busy = self.core_busy_cycles
+        mx = float(busy.max()) if busy.size else 0.0
+        if mx <= 0.0:
+            return 0.0
+        return 1.0 - float(busy.mean()) / mx
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total_accesses if self.total_accesses else 0.0
+
+
+def bind_dynamic_partitions(schedule: Schedule, cost: np.ndarray) -> Schedule:
+    """Assign ``core = -1`` partitions to concrete cores per level.
+
+    Models what an OpenMP dynamic-scheduling runtime achieves on HDagg's
+    fine-grained tasks: tasks are claimed roughly in submission order
+    (smallest-id first — the inspector's spatial-locality order), so each
+    core ends up with a *contiguous* cost-balanced run of tasks.  Static
+    partitions keep their cores; dynamic ones fill the remaining capacity.
+    Returns a new schedule (or the original when nothing is dynamic).
+    """
+    if all(part.core >= 0 for _, part in schedule.iter_partitions()):
+        return schedule
+    cost = np.asarray(cost, dtype=np.float64)
+    p = schedule.n_cores
+    new_levels: List[List[WidthPartition]] = []
+    for level in schedule.levels:
+        loads = np.zeros(p, dtype=np.float64)
+        static = [part for part in level if part.core >= 0]
+        dynamic = [part for part in level if part.core < 0]
+        for part in static:
+            loads[part.core % p] += part.cost(cost)
+        bound = list(static)
+        if dynamic:
+            # submission order: smallest member id first
+            dynamic.sort(key=lambda part: int(part.vertices[0]))
+            costs = np.array([part.cost(cost) for part in dynamic])
+            total = float(costs.sum()) + float(loads.sum())
+            target = total / p
+            core = 0
+            for part, w in zip(dynamic, costs):
+                # advance to the next core once this one is full
+                while core < p - 1 and loads[core] >= target:
+                    core += 1
+                loads[core] += w
+                bound.append(WidthPartition(core=core, vertices=part.vertices))
+        new_levels.append(bound)
+    return Schedule(
+        n=schedule.n,
+        levels=new_levels,
+        sync=schedule.sync,
+        algorithm=schedule.algorithm,
+        n_cores=p,
+        fine_grained=schedule.fine_grained,
+        meta=dict(schedule.meta, bound_dynamic=True),
+    )
+
+
+def _memory_cycles(
+    schedule: Schedule,
+    g: DAG,
+    memory: MemoryModel,
+    machine: MachineConfig,
+) -> tuple[np.ndarray, int, int, float]:
+    """Per-vertex memory cycles under the coherence-aware model.
+
+    Returns ``(mem_cycles, hits, misses, effective_miss_cycles)`` — the
+    last reflects optional bandwidth contention.
+    """
+    n = schedule.n
+    p = machine.n_cores
+    core = schedule.core_assignment() % p
+    # optional bandwidth model: misses slow down with concurrently active
+    # cores (docs/MODEL.md); active count approximated by the schedule's
+    # mean level width
+    miss_cycles = machine.miss_cycles
+    if machine.bandwidth_contention > 0.0 and schedule.n_levels:
+        widths = [len(level) for level in schedule.levels if level]
+        active = float(np.mean(widths)) if widths else 1.0
+        miss_cycles = machine.miss_cycles * (
+            1.0 + machine.bandwidth_contention * max(0.0, active - 1.0)
+        )
+
+    # Per-vertex access volume (stream + incoming dependence lines), then
+    # per-core cumulative access position in execution order.
+    src, dst = g.edge_list()
+    acc = memory.stream_lines.astype(np.float64).copy()
+    if src.size:
+        np.add.at(acc, dst, memory.edge_lines)
+    position = np.zeros(n, dtype=np.float64)  # end-of-vertex access offset on its core
+    for c in np.unique(core):
+        verts_chunks = [
+            part.vertices
+            for _, part in schedule.iter_partitions()
+            if part.core % p == c
+        ]
+        verts = np.concatenate(verts_chunks)
+        position[verts] = np.cumsum(acc[verts])
+
+    hits_lines = 0.0
+    miss_lines = float(memory.stream_lines.sum())
+    mem_cycles = memory.stream_lines * miss_cycles
+    if src.size:
+        cap = machine.cache_lines_per_core
+        # Two ways an edge u -> v hits in v's core cache:
+        #   producer reuse — u itself ran on v's core within the window;
+        #   consumer reuse — an earlier consumer of u's data ran on v's
+        #   core within the window (the data is already resident no matter
+        #   where u ran).  Sorted-by-id width-partitions exploit the second
+        #   heavily: adjacent rows share dependence sources.
+        # Group edges by (source, consumer core) in consumer execution
+        # order; the first edge of each group uses the producer rule, the
+        # rest chain off the previous consumer.
+        order = np.lexsort((position[dst], core[dst], src))
+        s_o, d_o = src[order], dst[order]
+        first = np.ones(order.shape[0], dtype=bool)
+        first[1:] = (s_o[1:] != s_o[:-1]) | (core[d_o[1:]] != core[d_o[:-1]])
+        prev_pos = np.empty(order.shape[0], dtype=np.float64)
+        prev_pos[0] = 0.0
+        prev_pos[1:] = position[d_o[:-1]]
+        producer_hit = first & (core[s_o] == core[d_o]) & (
+            position[d_o] - position[s_o] <= cap
+        )
+        consumer_hit = ~first & (position[d_o] - prev_pos <= cap)
+        hit_sorted = producer_hit | consumer_hit
+        hit = np.empty_like(hit_sorted)
+        hit[order] = hit_sorted
+        lat = np.where(hit, machine.hit_cycles, miss_cycles)
+        np.add.at(mem_cycles, dst, memory.edge_lines * lat)
+        hits_lines = float(memory.edge_lines[hit].sum())
+        miss_lines += float(memory.edge_lines[~hit].sum())
+    return mem_cycles, int(round(hits_lines)), int(round(miss_lines)), miss_cycles
+
+
+def _p2p_dependencies(schedule: Schedule, g: DAG) -> tuple[np.ndarray, np.ndarray]:
+    """Unique cross-partition dependence pairs ``(src_pid, dst_pid)``."""
+    pid = schedule.partition_of()
+    src, dst = g.edge_list()
+    ps, pd = pid[src], pid[dst]
+    cross = ps != pd
+    if not np.any(cross):
+        return np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=INDEX_DTYPE)
+    pairs = np.unique(np.stack([ps[cross], pd[cross]], axis=1), axis=0)
+    return np.ascontiguousarray(pairs[:, 0]), np.ascontiguousarray(pairs[:, 1])
+
+
+def simulate(
+    schedule: Schedule,
+    g: DAG,
+    cost: np.ndarray,
+    memory: MemoryModel,
+    machine: MachineConfig,
+) -> SimulationResult:
+    """Simulate one schedule on one machine model; see module docstring."""
+    cost = np.asarray(cost, dtype=np.float64)
+    memory.validate(g)
+    schedule = bind_dynamic_partitions(schedule, cost)
+    p = machine.n_cores
+
+    mem_cycles, hits, misses, effective_miss = _memory_cycles(schedule, g, memory, machine)
+    exec_cycles = cost * machine.cycles_per_cost_unit + mem_cycles
+
+    busy = np.zeros(p, dtype=np.float64)
+    n_p2p = 0
+    sync_cycles = 0.0
+
+    level_spans: list = []
+    if schedule.sync == "barrier":
+        makespan = 0.0
+        n_levels_nonempty = 0
+        for level in schedule.levels:
+            if not level:
+                continue
+            n_levels_nonempty += 1
+            loads = np.zeros(p, dtype=np.float64)
+            for part in level:
+                loads[part.core % p] += float(exec_cycles[part.vertices].sum())
+            busy += loads
+            span = float(loads.max())
+            level_spans.append(span)
+            makespan += span
+        n_barriers = max(0, n_levels_nonempty - 1)
+        sync_cycles = n_barriers * machine.barrier_cycles
+        makespan += sync_cycles
+    else:  # p2p
+        n_barriers = 0
+        dep_src, dep_dst = _p2p_dependencies(schedule, g)
+        n_parts = schedule.n_partitions
+        dep_ptr = np.zeros(n_parts + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(dep_dst, minlength=n_parts), out=dep_ptr[1:])
+        order = np.argsort(dep_dst, kind="stable")
+        dep_src_sorted = dep_src[order]
+
+        finish = np.zeros(n_parts, dtype=np.float64)
+        part_core = np.empty(n_parts, dtype=INDEX_DTYPE)
+        core_clock = np.zeros(p, dtype=np.float64)
+        for k, (_, part) in enumerate(schedule.iter_partitions()):
+            c = part.core % p
+            part_core[k] = c
+            w = float(exec_cycles[part.vertices].sum())
+            deps = dep_src_sorted[dep_ptr[k] : dep_ptr[k + 1]]
+            start = core_clock[c]
+            if deps.size:
+                cross_core = part_core[deps] != c
+                n_cross = int(np.count_nonzero(cross_core))
+                n_p2p += n_cross
+                sync_cycles += machine.p2p_sync_cycles * n_cross
+                dep_finish = finish[deps] + np.where(
+                    cross_core, machine.p2p_sync_cycles, 0.0
+                )
+                start = max(start, float(dep_finish.max()))
+            finish[k] = start + w
+            core_clock[c] = finish[k]
+            busy[c] += w
+        makespan = float(core_clock.max()) if n_parts else 0.0
+
+    return SimulationResult(
+        algorithm=schedule.algorithm,
+        machine=machine.name,
+        makespan_cycles=makespan,
+        core_busy_cycles=busy,
+        hits=hits,
+        misses=misses,
+        n_barriers=n_barriers,
+        n_p2p_syncs=n_p2p,
+        sync_cycles=sync_cycles,
+        hit_cycles=machine.hit_cycles,
+        miss_cycles=effective_miss,
+        level_spans=level_spans,
+    )

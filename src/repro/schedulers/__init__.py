@@ -1,0 +1,61 @@
+"""Inspector algorithms: HDagg plus the paper's baselines.
+
+``SCHEDULERS`` maps names to builders with the uniform signature
+``builder(g, cost, p, **options) -> Schedule``:
+
+========== ====================================================
+name        algorithm
+========== ====================================================
+hdagg       Hybrid DAG Aggregation (the paper's contribution)
+wavefront   level sets + global barriers [2]
+spmp        level grouping + point-to-point sync [4]
+lbc         load-balanced level coarsening (ParSy) [7]
+dagp        acyclic partitioning, list-scheduled quotient [1]
+mkl         vendor-style level sets, count chunking (SpTRSV)
+coarsenk    fixed-window wavefront coarsening [5], [6]
+serial      sequential order (NRE denominator)
+========== ====================================================
+"""
+
+from ..core.hdagg import hdagg
+from ..core.schedule import Schedule
+from ..graph.dag import DAG
+from .base import SCHEDULERS, chunk_by_cost, chunk_by_count, get_scheduler, register_scheduler
+from .coarsen_k import coarsen_k_schedule
+from .dagp import acyclic_partition, dagp_schedule, edge_cut
+from .lbc import elimination_tree, forest_components, lbc_schedule, tree_levels
+from .mkl_like import mkl_like_schedule
+from .serial import serial_schedule
+from .spmp import lpt_assign, spmp_schedule
+from .wavefront import wavefront_schedule
+
+import numpy as np
+
+
+@register_scheduler("hdagg")
+def hdagg_schedule(g: DAG, cost: np.ndarray, p: int, **options) -> Schedule:
+    """Registry adapter for :func:`repro.core.hdagg.hdagg`."""
+    return hdagg(g, cost, p, **options)
+
+
+__all__ = [
+    "SCHEDULERS",
+    "get_scheduler",
+    "register_scheduler",
+    "chunk_by_cost",
+    "chunk_by_count",
+    "hdagg_schedule",
+    "wavefront_schedule",
+    "spmp_schedule",
+    "lbc_schedule",
+    "dagp_schedule",
+    "mkl_like_schedule",
+    "serial_schedule",
+    "coarsen_k_schedule",
+    "acyclic_partition",
+    "edge_cut",
+    "elimination_tree",
+    "forest_components",
+    "tree_levels",
+    "lpt_assign",
+]

@@ -1,0 +1,21 @@
+"""Serial schedule: the sequential baseline every NRE computation needs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import Schedule, WidthPartition
+from ..graph.dag import DAG
+from ..sparse.csr import INDEX_DTYPE
+from .base import register_scheduler
+
+__all__ = ["serial_schedule"]
+
+
+@register_scheduler("serial")
+def serial_schedule(g: DAG, cost: np.ndarray, p: int = 1) -> Schedule:
+    """All iterations in ascending id order on core 0, no synchronisation."""
+    if g.n == 0:
+        return Schedule(n=0, levels=[], sync="barrier", algorithm="serial", n_cores=1)
+    part = WidthPartition(core=0, vertices=np.arange(g.n, dtype=INDEX_DTYPE))
+    return Schedule(n=g.n, levels=[[part]], sync="barrier", algorithm="serial", n_cores=1)

@@ -1,0 +1,253 @@
+"""Seeded generators for symmetric positive definite (SPD) test matrices.
+
+The paper evaluates on 34 SuiteSparse SPD matrices chosen for *diversity of
+DAG structure* (Section V): some have chain-heavy DAGs (favouring DAGP), some
+have large average parallelism (favouring Wavefront/SpMP), and some are close
+to chordal (favouring LBC).  Those matrices are not redistributable inside
+this repository, so this module provides deterministic generators that span
+the same structural axes; :mod:`repro.suite.matrices` assembles the concrete
+34-matrix dataset from them.
+
+Every generator returns a full (both triangles stored) symmetric CSR matrix
+that is strictly diagonally dominant, hence SPD, so SpIC0 is numerically
+stable exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix, csr_from_coo
+
+__all__ = [
+    "spd_from_pattern",
+    "poisson2d",
+    "poisson3d",
+    "banded_spd",
+    "random_spd",
+    "tridiagonal_spd",
+    "block_diagonal_spd",
+    "arrowhead_spd",
+    "power_law_spd",
+    "ladder_spd",
+    "kite_chain_spd",
+]
+
+
+def spd_from_pattern(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    *,
+    seed: int = 0,
+    dominance: float = 1.0,
+) -> CSRMatrix:
+    """Turn a strictly-lower-triangular pattern into a full SPD matrix.
+
+    The pattern is mirrored to the upper triangle, off-diagonal values are
+    drawn from ``U(-1, -0.05)`` (negative, Stieltjes-like, matching discretised
+    PDE operators), and each diagonal entry is set to the absolute row sum
+    plus ``dominance`` which guarantees strict diagonal dominance and hence
+    positive definiteness.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.size and not np.all(rows > cols):
+        raise ValueError("pattern must be strictly lower triangular (rows > cols)")
+    rng = np.random.default_rng(seed)
+    vals = -rng.uniform(0.05, 1.0, size=rows.shape[0])
+
+    all_rows = np.concatenate([rows, cols, np.arange(n, dtype=np.int64)])
+    all_cols = np.concatenate([cols, rows, np.arange(n, dtype=np.int64)])
+    diag = np.zeros(n, dtype=np.float64)
+    np.add.at(diag, rows, np.abs(vals))
+    np.add.at(diag, cols, np.abs(vals))
+    diag += dominance
+    all_vals = np.concatenate([vals, vals, diag])
+    return csr_from_coo(n, n, all_rows, all_cols, all_vals, sum_duplicates=False)
+
+
+def _grid_index_2d(nx: int, ny: int) -> np.ndarray:
+    return np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+
+
+def poisson2d(nx: int, ny: int | None = None, *, seed: int = 0) -> CSRMatrix:
+    """5-point Laplacian stencil on an ``nx x ny`` grid (classic banded SPD).
+
+    Its elimination DAG has moderate parallelism with long dependence chains
+    along grid lines — a middle-of-the-road workload for every scheduler.
+    """
+    ny = nx if ny is None else ny
+    idx = _grid_index_2d(nx, ny)
+    right_r = idx[:, 1:].ravel()
+    right_c = idx[:, :-1].ravel()
+    down_r = idx[1:, :].ravel()
+    down_c = idx[:-1, :].ravel()
+    rows = np.concatenate([right_r, down_r])
+    cols = np.concatenate([right_c, down_c])
+    return spd_from_pattern(nx * ny, rows, cols, seed=seed)
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None, *, seed: int = 0) -> CSRMatrix:
+    """7-point Laplacian stencil on an ``nx x ny x nz`` grid.
+
+    3D problems have wider wavefronts (more average parallelism) than 2D for
+    the same nnz — they populate the high-parallelism bucket of Table III.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    pairs = [
+        (idx[:, :, 1:].ravel(), idx[:, :, :-1].ravel()),
+        (idx[:, 1:, :].ravel(), idx[:, :-1, :].ravel()),
+        (idx[1:, :, :].ravel(), idx[:-1, :, :].ravel()),
+    ]
+    rows = np.concatenate([p[0] for p in pairs])
+    cols = np.concatenate([p[1] for p in pairs])
+    return spd_from_pattern(nx * ny * nz, rows, cols, seed=seed)
+
+
+def banded_spd(n: int, half_bandwidth: int, *, fill: float = 1.0, seed: int = 0) -> CSRMatrix:
+    """Random symmetric matrix confined to a band ``|i - j| <= half_bandwidth``.
+
+    Dense bands are chordal-ish after RCM, which is the structure class the
+    paper notes as favourable to LBC.  ``fill`` in (0, 1] keeps that fraction
+    of the in-band entries.
+    """
+    if half_bandwidth < 1 or half_bandwidth >= n:
+        raise ValueError("half_bandwidth must be in [1, n)")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for off in range(1, half_bandwidth + 1):
+        r = np.arange(off, n, dtype=np.int64)
+        keep = rng.random(r.shape[0]) < fill
+        rows_list.append(r[keep])
+        cols_list.append(r[keep] - off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return spd_from_pattern(n, rows, cols, seed=seed + 1)
+
+
+def random_spd(n: int, avg_degree: float, *, seed: int = 0) -> CSRMatrix:
+    """Erdos-Renyi-like symmetric pattern with ``avg_degree`` off-diagonals/row.
+
+    Uniformly random structure produces irregular, non-tree DAGs — the class
+    HDagg targets.
+    """
+    rng = np.random.default_rng(seed)
+    m = int(round(n * avg_degree / 2))
+    rows = rng.integers(1, n, size=2 * m + 16, dtype=np.int64)
+    cols = (rng.random(rows.shape[0]) * rows).astype(np.int64)  # col < row
+    pair = np.unique(np.stack([rows, cols], axis=1), axis=0)
+    pair = pair[pair[:, 0] != pair[:, 1]][:m]
+    return spd_from_pattern(n, pair[:, 0], pair[:, 1], seed=seed + 1)
+
+
+def tridiagonal_spd(n: int, *, seed: int = 0) -> CSRMatrix:
+    """Tridiagonal SPD matrix: the DAG is one long chain (zero parallelism).
+
+    Chains are the paper's "favours DAGP" class — partitioners can cut them
+    into contiguous pieces with minimal edge cut, while level-set methods
+    degenerate to fully sequential execution.
+    """
+    r = np.arange(1, n, dtype=np.int64)
+    return spd_from_pattern(n, r, r - 1, seed=seed)
+
+
+def block_diagonal_spd(n_blocks: int, block_size: int, *, seed: int = 0) -> CSRMatrix:
+    """Many independent dense-ish SPD blocks: embarrassingly parallel DAG.
+
+    Maximal average parallelism — the structure class that favours
+    Wavefront/SpMP in the paper's taxonomy.
+    """
+    rows_list = []
+    cols_list = []
+    for b in range(n_blocks):
+        base = b * block_size
+        # Dense strictly-lower pattern inside each block.
+        tri = np.tril_indices(block_size, k=-1)
+        rows_list.append(tri[0].astype(np.int64) + base)
+        cols_list.append(tri[1].astype(np.int64) + base)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return spd_from_pattern(n_blocks * block_size, rows, cols, seed=seed)
+
+
+def arrowhead_spd(n: int, n_heads: int, *, seed: int = 0) -> CSRMatrix:
+    """Arrowhead: a diagonal body coupled to ``n_heads`` dense final rows.
+
+    Produces a few extremely heavy vertices at the bottom of the DAG — a
+    load-balance stress test (first-fit bin packing must isolate them).
+    """
+    if n_heads >= n:
+        raise ValueError("n_heads must be < n")
+    body = n - n_heads
+    rows_list = []
+    cols_list = []
+    for k in range(n_heads):
+        r = body + k
+        rows_list.append(np.full(r, r, dtype=np.int64))
+        cols_list.append(np.arange(r, dtype=np.int64))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return spd_from_pattern(n, rows, cols, seed=seed)
+
+
+def power_law_spd(n: int, avg_degree: float, *, exponent: float = 2.2, seed: int = 0) -> CSRMatrix:
+    """Scale-free symmetric pattern (preferential-attachment flavour).
+
+    Degree skew yields non-uniform per-iteration cost, exercising the PGP
+    metric and the fine-grained fallback of HDagg (Lines 36-38, Algorithm 1).
+    """
+    rng = np.random.default_rng(seed)
+    m = int(round(n * avg_degree / 2))
+    # Zipf-like weights over vertex ids; heavy vertices get most edges.
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-1.0 / (exponent - 1.0))
+    weights /= weights.sum()
+    a = rng.choice(n, size=2 * m + 16, p=weights).astype(np.int64)
+    b = rng.integers(0, n, size=a.shape[0], dtype=np.int64)
+    rows = np.maximum(a, b)
+    cols = np.minimum(a, b)
+    keep = rows != cols
+    pair = np.unique(np.stack([rows[keep], cols[keep]], axis=1), axis=0)[:m]
+    return spd_from_pattern(n, pair[:, 0], pair[:, 1], seed=seed + 1)
+
+
+def ladder_spd(n_rungs: int, *, seed: int = 0) -> CSRMatrix:
+    """Ladder graph (two coupled chains): narrow, deep, non-tree DAG.
+
+    A worst case for pure wavefront methods (many tiny levels) where
+    coarsening across levels is the only way to build real workloads.
+    """
+    n = 2 * n_rungs
+    left = np.arange(0, n, 2, dtype=np.int64)
+    right = left + 1
+    rows_list = [right, left[1:], right[1:]]
+    cols_list = [left, left[:-1], right[:-1]]
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return spd_from_pattern(n, rows, cols, seed=seed)
+
+
+def kite_chain_spd(n_kites: int, kite_size: int, *, seed: int = 0) -> CSRMatrix:
+    """A chain of dense cliques ("kites") joined by single bridges.
+
+    Densely connected clusters separated by bridges are exactly the structure
+    HDagg's step 1 (subtree aggregation after transitive reduction) is built
+    to find, so this family isolates the benefit of vertex aggregation.
+    """
+    n = n_kites * kite_size
+    rows_list = []
+    cols_list = []
+    for k in range(n_kites):
+        base = k * kite_size
+        tri = np.tril_indices(kite_size, k=-1)
+        rows_list.append(tri[0].astype(np.int64) + base)
+        cols_list.append(tri[1].astype(np.int64) + base)
+        if k > 0:
+            rows_list.append(np.array([base], dtype=np.int64))
+            cols_list.append(np.array([base - 1], dtype=np.int64))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return spd_from_pattern(n, rows, cols, seed=seed)

@@ -1,0 +1,129 @@
+"""Matrix Market (.mtx) reader/writer.
+
+The paper loads SuiteSparse matrices from Matrix Market files
+(``Sparse A("path/to/mat.mtx")`` in Listing 2).  This module implements the
+coordinate Matrix Market dialect used by SuiteSparse: ``real``/``integer``/
+``pattern`` fields and ``general``/``symmetric`` symmetry, with ``%`` comment
+lines.  ``array`` (dense) files and complex fields are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+from os import PathLike
+from typing import Union
+
+import numpy as np
+
+from .csr import CSRMatrix, csr_from_coo
+
+__all__ = ["read_matrix_market", "write_matrix_market", "loads_matrix_market", "dumps_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def loads_matrix_market(text: str) -> CSRMatrix:
+    """Parse a Matrix Market coordinate document from a string."""
+    lines = iter(text.splitlines())
+    try:
+        header = next(lines)
+    except StopIteration:
+        raise ValueError("empty Matrix Market document") from None
+    parts = header.strip().split()
+    if len(parts) != 5 or parts[0] != _HEADER_PREFIX:
+        raise ValueError(f"bad Matrix Market header: {header!r}")
+    _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+    if obj != "matrix":
+        raise ValueError(f"unsupported object {obj!r}")
+    if fmt != "coordinate":
+        raise ValueError(f"only 'coordinate' format is supported, got {fmt!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    # Skip comments and blanks up to the size line.
+    size_line = None
+    for line in lines:
+        s = line.strip()
+        if not s or s.startswith("%"):
+            continue
+        size_line = s
+        break
+    if size_line is None:
+        raise ValueError("missing size line")
+    dims = size_line.split()
+    if len(dims) != 3:
+        raise ValueError(f"bad size line: {size_line!r}")
+    n_rows, n_cols, nnz = (int(x) for x in dims)
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    k = 0
+    for line in lines:
+        s = line.strip()
+        if not s or s.startswith("%"):
+            continue
+        if k >= nnz:
+            raise ValueError("more entries than declared in size line")
+        toks = s.split()
+        if field == "pattern":
+            if len(toks) != 2:
+                raise ValueError(f"bad pattern entry: {s!r}")
+            r, c, v = int(toks[0]), int(toks[1]), 1.0
+        else:
+            if len(toks) != 3:
+                raise ValueError(f"bad entry: {s!r}")
+            r, c, v = int(toks[0]), int(toks[1]), float(toks[2])
+        rows[k], cols[k], vals[k] = r - 1, c - 1, v  # 1-based -> 0-based
+        k += 1
+    if k != nnz:
+        raise ValueError(f"declared {nnz} entries but found {k}")
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[: nnz][off]])
+        vals = np.concatenate([vals, vals[off]])
+    return csr_from_coo(n_rows, n_cols, rows, cols, vals, sum_duplicates=False)
+
+
+def read_matrix_market(path: Union[str, PathLike]) -> CSRMatrix:
+    """Read a ``.mtx`` file from disk."""
+    with open(path, "r", encoding="ascii") as fh:
+        return loads_matrix_market(fh.read())
+
+
+def dumps_matrix_market(a: CSRMatrix, *, symmetric: bool = False) -> str:
+    """Serialise to a Matrix Market coordinate document.
+
+    With ``symmetric=True`` only the lower triangle is emitted and the header
+    declares ``symmetric`` (the caller is responsible for the matrix actually
+    being symmetric; this is validated).
+    """
+    buf = io.StringIO()
+    sym = "symmetric" if symmetric else "general"
+    buf.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+    buf.write("% written by repro (HDagg reproduction)\n")
+    entries = []
+    for i, cols, vals in a.iter_rows():
+        for c, v in zip(cols.tolist(), vals.tolist()):
+            if symmetric and c > i:
+                continue
+            entries.append((i + 1, c + 1, v))
+    if symmetric:
+        from .properties import is_structurally_symmetric
+
+        if not is_structurally_symmetric(a):
+            raise ValueError("symmetric=True but matrix pattern is not symmetric")
+    buf.write(f"{a.n_rows} {a.n_cols} {len(entries)}\n")
+    for r, c, v in entries:
+        buf.write(f"{r} {c} {v!r}\n")
+    return buf.getvalue()
+
+
+def write_matrix_market(a: CSRMatrix, path: Union[str, PathLike], *, symmetric: bool = False) -> None:
+    """Write a ``.mtx`` file to disk."""
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(dumps_matrix_market(a, symmetric=symmetric))

@@ -1,0 +1,106 @@
+"""Small numeric helpers shared by kernels, examples, and tests.
+
+These are reference-quality routines (clarity over speed) used to validate
+the schedule-driven kernels and to build the iterative-solver examples that
+motivate the paper (preconditioned CG / stationary iterations execute the
+same triangular solve tens of thousands of times, which is what amortises the
+inspector — Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .csr import CSRMatrix, VALUE_DTYPE
+
+__all__ = [
+    "dense_lower_solve",
+    "dense_upper_solve",
+    "residual_norm",
+    "CGResult",
+    "conjugate_gradient",
+]
+
+
+def dense_lower_solve(low: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward substitution on a dense lower-triangular matrix (reference)."""
+    n = low.shape[0]
+    x = np.zeros(n, dtype=VALUE_DTYPE)
+    for i in range(n):
+        s = b[i] - low[i, :i] @ x[:i]
+        if low[i, i] == 0.0:
+            raise ZeroDivisionError(f"zero diagonal at row {i}")
+        x[i] = s / low[i, i]
+    return x
+
+
+def dense_upper_solve(up: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Backward substitution on a dense upper-triangular matrix (reference)."""
+    n = up.shape[0]
+    x = np.zeros(n, dtype=VALUE_DTYPE)
+    for i in range(n - 1, -1, -1):
+        s = b[i] - up[i, i + 1 :] @ x[i + 1 :]
+        if up[i, i] == 0.0:
+            raise ZeroDivisionError(f"zero diagonal at row {i}")
+        x[i] = s / up[i, i]
+    return x
+
+
+def residual_norm(a: CSRMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """Two-norm of ``b - A x``."""
+    return float(np.linalg.norm(b - a.matvec(x)))
+
+
+@dataclass
+class CGResult:
+    """Outcome of :func:`conjugate_gradient`."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list = field(default_factory=list)
+
+
+def conjugate_gradient(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    preconditioner=None,
+    tol: float = 1e-10,
+    max_iter: int = 2000,
+) -> CGResult:
+    """(Preconditioned) conjugate gradient for SPD ``a``.
+
+    ``preconditioner`` is a callable ``r -> z`` applying ``M^{-1}``; in the
+    examples it is a schedule-driven SpIC0 solve, the workload class the
+    paper's NRE analysis (Figure 9) is about.
+    """
+    b = np.asarray(b, dtype=VALUE_DTYPE)
+    n = a.n_rows
+    x = np.zeros(n, dtype=VALUE_DTYPE)
+    r = b.copy()
+    z = preconditioner(r) if preconditioner is not None else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    residuals = [float(np.linalg.norm(r)) / b_norm]
+    for k in range(1, max_iter + 1):
+        ap = a.matvec(p)
+        pap = float(p @ ap)
+        if pap <= 0.0:
+            # Matrix is not SPD along this direction; bail out honestly.
+            return CGResult(x=x, iterations=k - 1, converged=False, residuals=residuals)
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rel = float(np.linalg.norm(r)) / b_norm
+        residuals.append(rel)
+        if rel < tol:
+            return CGResult(x=x, iterations=k, converged=True, residuals=residuals)
+        z = preconditioner(r) if preconditioner is not None else r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return CGResult(x=x, iterations=max_iter, converged=False, residuals=residuals)

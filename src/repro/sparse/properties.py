@@ -1,0 +1,115 @@
+"""Structural and numerical matrix properties used by the evaluation harness.
+
+The paper characterises its dataset by number of non-zeros, symmetry,
+positive-definiteness (for SpIC0 stability), bandwidth, and DAG-derived
+quantities such as average parallelism.  The structural checks live here; the
+DAG-derived metrics live in :mod:`repro.metrics.parallelism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix, INDEX_DTYPE
+
+__all__ = [
+    "is_structurally_symmetric",
+    "is_numerically_symmetric",
+    "bandwidth",
+    "profile",
+    "density",
+    "diagonal_dominance_ratio",
+    "MatrixSummary",
+    "summarize",
+]
+
+
+def is_structurally_symmetric(a: CSRMatrix) -> bool:
+    """True when the sparsity pattern satisfies ``(i, j) present iff (j, i)``."""
+    if not a.is_square:
+        return False
+    t = a.transpose()
+    return np.array_equal(a.indptr, t.indptr) and np.array_equal(a.indices, t.indices)
+
+
+def is_numerically_symmetric(a: CSRMatrix, *, rtol: float = 1e-12) -> bool:
+    """True when ``A == A.T`` up to a relative tolerance."""
+    if not is_structurally_symmetric(a):
+        return False
+    t = a.transpose()
+    scale = max(1.0, float(np.abs(a.data).max()) if a.nnz else 1.0)
+    return bool(np.all(np.abs(a.data - t.data) <= rtol * scale))
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal/empty)."""
+    if a.nnz == 0:
+        return 0
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), np.diff(a.indptr))
+    return int(np.abs(row_of - a.indices).max())
+
+
+def profile(a: CSRMatrix) -> int:
+    """Sum over rows of the distance from the leftmost entry to the diagonal.
+
+    This is the classic envelope/profile measure that RCM-style orderings
+    minimise; it is reported by the ordering benchmarks.
+    """
+    nonempty = np.nonzero(np.diff(a.indptr) > 0)[0]
+    first = a.indices[a.indptr[nonempty]]
+    below = first < nonempty
+    return int((nonempty[below] - first[below]).sum())
+
+
+def density(a: CSRMatrix) -> float:
+    """``nnz / (n_rows * n_cols)``; 0 for degenerate shapes."""
+    cells = a.n_rows * a.n_cols
+    return a.nnz / cells if cells else 0.0
+
+
+def diagonal_dominance_ratio(a: CSRMatrix) -> float:
+    """Fraction of rows where ``|a_ii| >= sum_{j != i} |a_ij|``."""
+    if not a.is_square or a.n_rows == 0:
+        return 0.0
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), a.row_nnz())
+    abs_sum = np.zeros(a.n_rows)
+    np.add.at(abs_sum, row_of, np.abs(a.data))
+    diag = np.abs(a.diagonal())
+    off = abs_sum - diag
+    return float(np.count_nonzero(diag >= off)) / a.n_rows
+
+
+@dataclass(frozen=True)
+class MatrixSummary:
+    """Compact description of a matrix, printed in dataset tables."""
+
+    n: int
+    nnz: int
+    density: float
+    bandwidth: int
+    structurally_symmetric: bool
+    avg_nnz_per_row: float
+    max_nnz_per_row: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} nnz={self.nnz} dens={self.density:.2e} "
+            f"bw={self.bandwidth} sym={self.structurally_symmetric} "
+            f"avg_row={self.avg_nnz_per_row:.1f} max_row={self.max_nnz_per_row}"
+        )
+
+
+def summarize(a: CSRMatrix) -> MatrixSummary:
+    """Build a :class:`MatrixSummary` for reporting."""
+    per_row = a.row_nnz()
+    return MatrixSummary(
+        n=a.n_rows,
+        nnz=a.nnz,
+        density=density(a),
+        bandwidth=bandwidth(a),
+        structurally_symmetric=is_structurally_symmetric(a),
+        avg_nnz_per_row=float(per_row.mean()) if a.n_rows else 0.0,
+        max_nnz_per_row=int(per_row.max()) if a.n_rows else 0,
+    )

@@ -1,0 +1,83 @@
+"""Triangular extraction and structural helpers for factorisation kernels.
+
+The three kernels of the paper operate on triangular structure: SpTRSV solves
+``Lx = b`` for a lower-triangular ``L``; SpIC0/SpILU0 compute factors whose
+sparsity equals the lower/upper triangle of the input.  These helpers extract
+the triangles from a general CSR matrix while keeping the canonical invariants
+of :class:`~repro.sparse.csr.CSRMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "lower_triangle",
+    "upper_triangle",
+    "strict_lower_triangle",
+    "strict_upper_triangle",
+    "is_lower_triangular",
+    "is_upper_triangular",
+    "unit_diagonal_lower",
+]
+
+
+def _triangle(a: CSRMatrix, keep) -> CSRMatrix:
+    """Filter entries with a vectorized row/col predicate ``keep(rows, cols)``."""
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), np.diff(a.indptr))
+    mask = keep(row_of, a.indices)
+    indices = a.indices[mask]
+    data = a.data[mask]
+    counts = np.bincount(row_of[mask], minlength=a.n_rows)
+    indptr = np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(a.n_rows, a.n_cols, indptr, indices, data, check=False)
+
+
+def lower_triangle(a: CSRMatrix) -> CSRMatrix:
+    """Entries with ``col <= row`` (inclusive of the diagonal)."""
+    return _triangle(a, lambda r, c: c <= r)
+
+
+def upper_triangle(a: CSRMatrix) -> CSRMatrix:
+    """Entries with ``col >= row`` (inclusive of the diagonal)."""
+    return _triangle(a, lambda r, c: c >= r)
+
+
+def strict_lower_triangle(a: CSRMatrix) -> CSRMatrix:
+    """Entries with ``col < row``."""
+    return _triangle(a, lambda r, c: c < r)
+
+
+def strict_upper_triangle(a: CSRMatrix) -> CSRMatrix:
+    """Entries with ``col > row``."""
+    return _triangle(a, lambda r, c: c > r)
+
+
+def is_lower_triangular(a: CSRMatrix) -> bool:
+    """True when no entry lies strictly above the diagonal."""
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), np.diff(a.indptr))
+    return bool(np.all(a.indices <= row_of))
+
+
+def is_upper_triangular(a: CSRMatrix) -> bool:
+    """True when no entry lies strictly below the diagonal."""
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), np.diff(a.indptr))
+    return bool(np.all(a.indices >= row_of))
+
+
+def unit_diagonal_lower(a: CSRMatrix) -> CSRMatrix:
+    """Lower triangle of ``a`` with the diagonal forced to 1.0.
+
+    The structure must already contain every diagonal entry (factorisation
+    kernels require a full diagonal); missing diagonals raise ``ValueError``.
+    """
+    low = lower_triangle(a)
+    if not low.has_full_diagonal():
+        raise ValueError("matrix is missing diagonal entries")
+    data = low.data.copy()
+    # the diagonal is the last stored entry of every lower-triangular row
+    data[low.indptr[1:] - 1] = 1.0
+    return low.with_data(data)

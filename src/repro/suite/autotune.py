@@ -1,0 +1,97 @@
+"""Scheduler auto-selection driven by the NRE economics of Section V-B.
+
+An inspector only pays off when its cost is amortised over enough kernel
+executions (Equation 2).  A library user typically knows roughly how many
+times the kernel will run — MKL exposes exactly this knob as
+``expected_calls`` (the paper sets it to 1000).  :func:`choose_scheduler`
+makes the same decision explicit: given the DAG, costs, machine, and the
+expected execution count, it picks the algorithm with the lowest *total*
+modelled time::
+
+    total(algo) = inspector_cycles(algo) + executions * makespan(algo)
+
+Candidates default to the cheap-to-expensive inspector ladder
+(serial -> wavefront -> spmp -> hdagg); DAGP-class inspectors only make
+sense at execution counts far beyond typical solver runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..graph.dag import DAG
+from ..kernels.memory import MemoryModel
+from ..metrics.nre import inspector_cost_model
+from ..runtime.machine import MachineConfig
+from ..runtime.simulator import simulate
+from ..schedulers import SCHEDULERS
+
+__all__ = ["SchedulerChoice", "choose_scheduler", "DEFAULT_CANDIDATES"]
+
+#: Default candidate ladder, cheapest inspector first.
+DEFAULT_CANDIDATES = ("serial", "wavefront", "spmp", "hdagg")
+
+
+@dataclass(frozen=True)
+class SchedulerChoice:
+    """Outcome of :func:`choose_scheduler`."""
+
+    algorithm: str
+    schedule: Schedule
+    total_cycles: float
+    inspector_cycles: float
+    makespan_cycles: float
+    breakdown: dict  # algorithm -> total cycles
+
+    @property
+    def amortised(self) -> bool:
+        """True when the chosen inspector beats plain serial execution."""
+        return self.algorithm != "serial"
+
+
+def choose_scheduler(
+    g: DAG,
+    cost: np.ndarray,
+    memory: MemoryModel,
+    machine: MachineConfig,
+    expected_executions: int,
+    *,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+) -> SchedulerChoice:
+    """Pick the scheduler minimising inspector + expected execution time.
+
+    ``expected_executions`` plays the role of MKL's ``expected_calls``.
+    Ties break toward the earlier (cheaper-inspector) candidate.
+    """
+    if expected_executions < 1:
+        raise ValueError("expected_executions must be >= 1")
+    best: SchedulerChoice | None = None
+    breakdown: dict = {}
+    for name in candidates:
+        builder = SCHEDULERS[name]
+        if name == "serial":
+            schedule = builder(g, cost)
+            sim = simulate(schedule, g, cost, memory, machine.scaled(1))
+        else:
+            schedule = builder(g, cost, machine.n_cores)
+            sim = simulate(schedule, g, cost, memory, machine)
+        insp = inspector_cost_model(name, g, schedule)
+        total = insp + expected_executions * sim.makespan_cycles
+        breakdown[name] = total
+        if best is None or total < best.total_cycles:
+            best = SchedulerChoice(
+                algorithm=name,
+                schedule=schedule,
+                total_cycles=total,
+                inspector_cycles=insp,
+                makespan_cycles=sim.makespan_cycles,
+                breakdown=breakdown,
+            )
+    assert best is not None
+    # breakdown dict is shared/mutated during the loop; freeze a copy
+    object.__setattr__(best, "breakdown", dict(breakdown))
+    return best

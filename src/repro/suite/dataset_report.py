@@ -1,0 +1,71 @@
+"""Dataset characterisation report (the paper's matrix-list table).
+
+Evaluation papers list their matrices with the structural quantities that
+matter to the experiment; for this suite those are size, non-zeros, DAG
+depth, average parallelism (Table III's axis), nnz per wavefront (the
+locality-potential proxy), and the Table III bucket each matrix lands in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph.build import dag_from_matrix_lower
+from ..metrics.parallelism import dag_shape
+from ..sparse.ordering import apply_ordering
+from .matrices import SUITE, MatrixSpec
+from .tables import HIGH_PARALLELISM_THRESHOLD, LARGE_NNZ_THRESHOLD
+
+__all__ = ["dataset_rows", "dataset_report"]
+
+_BUCKETS = ("large", "small/high-AP", "small/low-AP")
+
+
+def _bucket(nnz: int, ap: float) -> str:
+    if nnz > LARGE_NNZ_THRESHOLD:
+        return _BUCKETS[0]
+    if ap > HIGH_PARALLELISM_THRESHOLD:
+        return _BUCKETS[1]
+    return _BUCKETS[2]
+
+
+def dataset_rows(
+    specs: Sequence[MatrixSpec] | None = None, *, ordering: str = "nd"
+) -> List[list]:
+    """One row per matrix: name, family, n, nnz, waves, AP, nnz/wave, bucket.
+
+    The DAG quantities are computed after the harness's pre-ordering so
+    they describe what the schedulers actually see.
+    """
+    rows: List[list] = []
+    for spec in specs if specs is not None else SUITE:
+        a = spec.build()
+        ordered, _ = apply_ordering(a, ordering)
+        shape = dag_shape(dag_from_matrix_lower(ordered))
+        ap = shape.average_parallelism
+        rows.append(
+            [
+                spec.name,
+                spec.family,
+                a.n_rows,
+                a.nnz,
+                shape.n_wavefronts,
+                ap,
+                a.nnz / max(1, shape.n_wavefronts),
+                _bucket(a.nnz, ap),
+            ]
+        )
+    return rows
+
+
+def dataset_report(specs: Sequence[MatrixSpec] | None = None, *, ordering: str = "nd") -> str:
+    """Formatted dataset table."""
+    from .reporting import format_table
+
+    headers = ["matrix", "family", "n", "nnz", "waves", "avg par", "nnz/wave", "bucket"]
+    return format_table(
+        headers,
+        dataset_rows(specs, ordering=ordering),
+        title=f"Evaluation dataset ({ordering} ordering)",
+        digits=1,
+    )

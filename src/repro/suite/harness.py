@@ -1,0 +1,236 @@
+"""Experiment harness: run (matrix x kernel x algorithm x machine) grids.
+
+This is the programmatic engine behind every table and figure benchmark.
+For one matrix it:
+
+1. builds and ND-reorders the matrix (the paper's METIS pre-pass,
+   Section V);
+2. derives the kernel inputs: operand matrix, dependence DAG, cost vector,
+   memory model;
+3. runs each inspector, validates its schedule against the DAG (structural
+   + dependence safety), and simulates it on each machine;
+4. records the paper's metrics per run (speedup vs the simulated sequential
+   execution, locality, measured PG, sync counts, imbalance ratio, NRE).
+
+Everything is cached per matrix so the grid costs one DAG build and one
+memory model per kernel, not one per algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.pgp import DEFAULT_EPSILON, accumulated_pgp
+from ..kernels import KERNELS
+from ..metrics.load_balance import imbalance_ratio
+from ..metrics.nre import inspector_cost_model, nre
+from ..metrics.parallelism import dag_shape
+from ..metrics.synchronization import equivalent_p2p_syncs
+from ..runtime.machine import MACHINES, MachineConfig
+from ..runtime.simulator import SimulationResult, simulate
+from ..schedulers import SCHEDULERS
+from ..sparse.csr import CSRMatrix
+from ..sparse.ordering import apply_ordering
+from ..sparse.triangular import lower_triangle
+from .matrices import MatrixSpec
+
+__all__ = ["RunRecord", "MatrixContext", "Harness", "DEFAULT_ALGORITHMS"]
+
+#: The paper's comparison set (MKL is SpTRSV-only, handled by the harness).
+DEFAULT_ALGORITHMS = ("hdagg", "spmp", "wavefront", "lbc", "dagp", "mkl")
+
+
+@dataclass
+class RunRecord:
+    """Metrics of one (matrix, kernel, algorithm, machine) execution."""
+
+    matrix: str
+    family: str
+    kernel: str
+    algorithm: str
+    machine: str
+    n: int
+    nnz: int
+    n_wavefronts: int
+    average_parallelism: float
+    nnz_per_wavefront: float
+    speedup: float
+    makespan_cycles: float
+    serial_cycles: float
+    avg_memory_access_latency: float
+    hit_rate: float
+    potential_gain: float
+    pgp: float
+    equivalent_syncs: float
+    n_barriers: int
+    n_p2p_syncs: int
+    imbalance_ratio: float
+    inspector_cycles: float
+    nre: float
+    schedule_levels: int
+    schedule_partitions: int
+    fine_grained: bool
+    inspector_seconds: float
+
+
+@dataclass
+class MatrixContext:
+    """Cached per-matrix artefacts shared across algorithms/machines."""
+
+    spec: MatrixSpec
+    matrix: CSRMatrix  # reordered full SPD matrix
+    kernels: Dict[str, dict] = field(default_factory=dict)  # kernel -> artefacts
+
+
+class Harness:
+    """Grid runner over the suite.
+
+    Parameters
+    ----------
+    machines:
+        Machine names (keys of :data:`repro.runtime.machine.MACHINES`) or
+        :class:`MachineConfig` objects.
+    kernels:
+        Kernel names among ``{"sptrsv", "spic0", "spilu0"}``.
+    algorithms:
+        Scheduler names; ``"mkl"`` is automatically restricted to SpTRSV
+        (MKL has no parallel SpIC0/SpILU0, Section V).
+    ordering:
+        Symmetric pre-ordering applied to every matrix (paper: METIS; here
+        ``"nd"`` by default).
+    epsilon:
+        HDagg/LBC load-balance threshold.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence = ("intel20",),
+        kernels: Sequence[str] = ("sptrsv", "spic0", "spilu0"),
+        algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+        *,
+        ordering: str = "nd",
+        epsilon: float = DEFAULT_EPSILON,
+        validate: bool = True,
+    ) -> None:
+        self.machines: List[MachineConfig] = [
+            m if isinstance(m, MachineConfig) else MACHINES[m] for m in machines
+        ]
+        for k in kernels:
+            if k not in KERNELS:
+                raise KeyError(f"unknown kernel {k!r}")
+        self.kernels = tuple(kernels)
+        for a in algorithms:
+            if a not in SCHEDULERS:
+                raise KeyError(f"unknown algorithm {a!r}")
+        self.algorithms = tuple(algorithms)
+        self.ordering = ordering
+        self.epsilon = epsilon
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def prepare(self, spec: MatrixSpec) -> MatrixContext:
+        """Build, reorder, and derive kernel artefacts for one matrix."""
+        raw = spec.build()
+        ordered, _ = apply_ordering(raw, self.ordering)
+        ctx = MatrixContext(spec=spec, matrix=ordered)
+        for kname in self.kernels:
+            kernel = KERNELS[kname]
+            operand = lower_triangle(ordered) if kname == "sptrsv" else ordered
+            g = kernel.dag(operand)
+            cost = kernel.cost(operand)
+            memory = kernel.memory_model(operand, g)
+            shape = dag_shape(g)
+            ctx.kernels[kname] = {
+                "kernel": kernel,
+                "operand": operand,
+                "dag": g,
+                "cost": cost,
+                "memory": memory,
+                "shape": shape,
+            }
+        return ctx
+
+    def _algorithms_for(self, kernel: str) -> Iterable[str]:
+        for a in self.algorithms:
+            if a == "mkl" and kernel != "sptrsv":
+                continue  # MKL's SpIC0/SpILU0 are not parallel (Section V)
+            yield a
+
+    # ------------------------------------------------------------------
+    def run_matrix(self, spec: MatrixSpec) -> List[RunRecord]:
+        """All records for one matrix across the configured grid."""
+        ctx = self.prepare(spec)
+        records: List[RunRecord] = []
+        for kname in self.kernels:
+            art = ctx.kernels[kname]
+            g, cost, memory = art["dag"], art["cost"], art["memory"]
+            shape = art["shape"]
+
+            # serial reference per machine (sequential run owns the machine)
+            serial_schedule = SCHEDULERS["serial"](g, cost)
+            serial_results: Dict[str, SimulationResult] = {}
+            for machine in self.machines:
+                serial_results[machine.name] = simulate(
+                    serial_schedule, g, cost, memory, machine.scaled(1)
+                )
+
+            for algo in self._algorithms_for(kname):
+                for machine in self.machines:
+                    t0 = time.perf_counter()
+                    if algo in ("hdagg", "lbc"):
+                        schedule = SCHEDULERS[algo](g, cost, machine.n_cores, epsilon=self.epsilon)
+                    else:
+                        schedule = SCHEDULERS[algo](g, cost, machine.n_cores)
+                    inspector_seconds = time.perf_counter() - t0
+                    if self.validate:
+                        schedule.validate(g)
+                    sim = simulate(schedule, g, cost, memory, machine)
+                    serial = serial_results[machine.name]
+                    insp_cycles = inspector_cost_model(algo, g, schedule)
+                    records.append(
+                        RunRecord(
+                            matrix=spec.name,
+                            family=spec.family,
+                            kernel=kname,
+                            algorithm=algo,
+                            machine=machine.name,
+                            n=g.n,
+                            nnz=ctx.matrix.nnz,
+                            n_wavefronts=shape.n_wavefronts,
+                            average_parallelism=shape.average_parallelism,
+                            nnz_per_wavefront=ctx.matrix.nnz / max(1, shape.n_wavefronts),
+                            speedup=serial.makespan_cycles / sim.makespan_cycles
+                            if sim.makespan_cycles > 0
+                            else float("inf"),
+                            makespan_cycles=sim.makespan_cycles,
+                            serial_cycles=serial.makespan_cycles,
+                            avg_memory_access_latency=sim.avg_memory_access_latency,
+                            hit_rate=sim.hit_rate,
+                            potential_gain=sim.potential_gain,
+                            pgp=accumulated_pgp(schedule, cost),
+                            equivalent_syncs=equivalent_p2p_syncs(sim, machine.n_cores),
+                            n_barriers=sim.n_barriers,
+                            n_p2p_syncs=sim.n_p2p_syncs,
+                            imbalance_ratio=imbalance_ratio(schedule, machine.n_cores),
+                            inspector_cycles=insp_cycles,
+                            nre=nre(insp_cycles, serial, sim),
+                            schedule_levels=schedule.n_levels,
+                            schedule_partitions=schedule.n_partitions,
+                            fine_grained=schedule.fine_grained,
+                            inspector_seconds=inspector_seconds,
+                        )
+                    )
+        return records
+
+    def run_suite(self, specs: Sequence[MatrixSpec], *, progress: bool = False) -> List[RunRecord]:
+        """Run the grid over many matrices; flat record list."""
+        out: List[RunRecord] = []
+        for i, spec in enumerate(specs):
+            if progress:
+                print(f"[{i + 1}/{len(specs)}] {spec.name}", flush=True)
+            out.extend(self.run_matrix(spec))
+        return out

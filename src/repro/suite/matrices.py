@@ -1,0 +1,121 @@
+"""The 34-matrix evaluation dataset.
+
+Substitution for the paper's 34 SuiteSparse SPD matrices (Section V), which
+are not redistributable here.  The suite below is generated (seeded,
+deterministic) and spans the same structural axes the paper selected for:
+
+* **chains** — DAGs dominated by long chains (favour DAGP);
+* **high average parallelism** — wide, shallow DAGs (favour
+  Wavefront/SpMP);
+* **near-chordal** — banded/clique-chained patterns whose etrees decompose
+  well (favour LBC);
+* **meshes** — 2D/3D discretisations, the bread-and-butter middle ground;
+* **irregular** — random and power-law patterns (non-tree DAGs, HDagg's
+  target class);
+* **skewed** — arrowhead/power-law with heavy vertices (load-balance
+  stress).
+
+Sizes span ~8e3 to ~4e5 stored non-zeros — the paper's 5.1e5-5.9e7 range
+divided by the documented ``DATASET_SCALE`` (see
+:mod:`repro.runtime.machine`).  Every matrix is strictly diagonally
+dominant SPD so SpIC0 is numerically stable, exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sparse.csr import CSRMatrix
+from ..sparse import generators as gen
+
+__all__ = ["MatrixSpec", "SUITE", "suite_by_name", "small_suite", "FAMILIES"]
+
+#: Structure families used in reports.
+FAMILIES = ("mesh2d", "mesh3d", "banded", "random", "chain", "parallel", "skewed", "clique")
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One dataset entry: a named, seeded matrix recipe."""
+
+    name: str
+    family: str
+    build: Callable[[], CSRMatrix]
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+
+
+def _spec(name: str, family: str, fn: Callable[[], CSRMatrix]) -> MatrixSpec:
+    return MatrixSpec(name=name, family=family, build=fn)
+
+
+#: The full 34-matrix suite, ordered roughly by non-zero count.
+SUITE: List[MatrixSpec] = [
+    # -- 2D meshes (moderate parallelism, long-ish critical paths) --------
+    _spec("mesh2d-s", "mesh2d", lambda: gen.poisson2d(48, seed=11)),
+    _spec("mesh2d-m", "mesh2d", lambda: gen.poisson2d(72, seed=12)),
+    _spec("mesh2d-l", "mesh2d", lambda: gen.poisson2d(104, seed=13)),
+    _spec("mesh2d-xl", "mesh2d", lambda: gen.poisson2d(148, seed=14)),
+    _spec("mesh2d-rect", "mesh2d", lambda: gen.poisson2d(192, 56, seed=15)),
+    # -- 3D meshes (wider wavefronts for the same nnz) ---------------------
+    _spec("mesh3d-s", "mesh3d", lambda: gen.poisson3d(13, seed=21)),
+    _spec("mesh3d-m", "mesh3d", lambda: gen.poisson3d(18, seed=22)),
+    _spec("mesh3d-l", "mesh3d", lambda: gen.poisson3d(24, seed=23)),
+    _spec("mesh3d-xl", "mesh3d", lambda: gen.poisson3d(30, seed=24)),
+    _spec("mesh3d-slab", "mesh3d", lambda: gen.poisson3d(44, 20, 10, seed=25)),
+    # -- banded / near-chordal (favour LBC) --------------------------------
+    _spec("band-narrow", "banded", lambda: gen.banded_spd(9000, 6, seed=31)),
+    _spec("band-wide", "banded", lambda: gen.banded_spd(5200, 22, fill=0.7, seed=32)),
+    _spec("band-sparse", "banded", lambda: gen.banded_spd(14000, 12, fill=0.35, seed=33)),
+    _spec("band-dense", "banded", lambda: gen.banded_spd(3400, 34, fill=0.95, seed=34)),
+    # -- random irregular (HDagg's target: non-tree DAGs) ------------------
+    _spec("rand-sparse", "random", lambda: gen.random_spd(11000, 4.0, seed=41)),
+    _spec("rand-mid", "random", lambda: gen.random_spd(8200, 8.0, seed=42)),
+    _spec("rand-dense", "random", lambda: gen.random_spd(4600, 16.0, seed=43)),
+    _spec("rand-large", "random", lambda: gen.random_spd(21000, 6.0, seed=44)),
+    # -- chain-heavy (favour DAGP) ------------------------------------------
+    _spec("chain-pure", "chain", lambda: gen.tridiagonal_spd(16000, seed=51)),
+    _spec("chain-long", "chain", lambda: gen.tridiagonal_spd(40000, seed=52)),
+    _spec("ladder-s", "chain", lambda: gen.ladder_spd(7000, seed=53)),
+    _spec("ladder-l", "chain", lambda: gen.ladder_spd(19000, seed=54)),
+    # -- embarrassingly parallel (favour Wavefront/SpMP) --------------------
+    _spec("blocks-many", "parallel", lambda: gen.block_diagonal_spd(420, 22, seed=61)),
+    _spec("blocks-few", "parallel", lambda: gen.block_diagonal_spd(64, 52, seed=62)),
+    _spec("blocks-tiny", "parallel", lambda: gen.block_diagonal_spd(2600, 6, seed=63)),
+    # -- skewed cost distributions (load-balance stress) --------------------
+    _spec("arrow-few", "skewed", lambda: gen.arrowhead_spd(9000, 3, seed=71)),
+    _spec("arrow-many", "skewed", lambda: gen.arrowhead_spd(5000, 12, seed=72)),
+    _spec("power-soft", "skewed", lambda: gen.power_law_spd(10000, 6.0, exponent=2.6, seed=73)),
+    _spec("power-hard", "skewed", lambda: gen.power_law_spd(7400, 9.0, exponent=2.1, seed=74)),
+    _spec("power-large", "skewed", lambda: gen.power_law_spd(17000, 5.0, exponent=2.4, seed=75)),
+    # -- clique chains (step-1 aggregation showcase) ------------------------
+    _spec("kite-small", "clique", lambda: gen.kite_chain_spd(360, 9, seed=81)),
+    _spec("kite-large", "clique", lambda: gen.kite_chain_spd(190, 17, seed=82)),
+    _spec("kite-many", "clique", lambda: gen.kite_chain_spd(1400, 5, seed=83)),
+    _spec("kite-wide", "clique", lambda: gen.kite_chain_spd(90, 30, seed=84)),
+]
+
+assert len(SUITE) == 34, f"suite must have 34 matrices, has {len(SUITE)}"
+
+
+def suite_by_name() -> Dict[str, MatrixSpec]:
+    """Name -> spec mapping."""
+    return {s.name: s for s in SUITE}
+
+
+def small_suite(max_n: int = 6000) -> List[MatrixSpec]:
+    """Quick subset for smoke benchmarks: one spec per family, smallest first.
+
+    Selection is by *generated* size, so it costs one build per candidate;
+    use in tests and ``--quick`` CLI runs only.
+    """
+    chosen: Dict[str, MatrixSpec] = {}
+    for spec in SUITE:
+        if spec.family in chosen:
+            continue
+        if spec.build().n_rows <= max_n:
+            chosen[spec.family] = spec
+    return list(chosen.values())

@@ -1,0 +1,89 @@
+"""A/B comparison of two harness runs — the development regression tool.
+
+Calibration work on the model or changes to an inspector shift numbers
+everywhere; this module diffs two record sets (e.g. saved before and after
+a change with :mod:`repro.suite.storage`) and reports per-algorithm speedup
+movement, flagged regressions, and the headline Table-I ratios side by
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .harness import RunRecord
+from .tables import index_records
+
+__all__ = ["RecordDelta", "diff_records", "regression_report"]
+
+
+@dataclass(frozen=True)
+class RecordDelta:
+    """Speedup movement of one (matrix, kernel, algorithm, machine) cell."""
+
+    key: tuple
+    old_speedup: float
+    new_speedup: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new_speedup / self.old_speedup if self.old_speedup > 0 else float("inf")
+
+    @property
+    def regressed(self) -> bool:
+        """More than 5% slower counts as a regression."""
+        return self.ratio < 0.95
+
+
+def diff_records(
+    old: Sequence[RunRecord], new: Sequence[RunRecord]
+) -> Tuple[List[RecordDelta], List[tuple], List[tuple]]:
+    """Match cells by key; returns (deltas, only_in_old, only_in_new)."""
+    old_idx = index_records(old)
+    new_idx = index_records(new)
+    deltas = [
+        RecordDelta(key=k, old_speedup=old_idx[k].speedup, new_speedup=new_idx[k].speedup)
+        for k in sorted(set(old_idx) & set(new_idx))
+    ]
+    return (
+        deltas,
+        sorted(set(old_idx) - set(new_idx)),
+        sorted(set(new_idx) - set(old_idx)),
+    )
+
+
+def regression_report(
+    old: Sequence[RunRecord], new: Sequence[RunRecord], *, threshold: float = 0.95
+) -> str:
+    """Human-readable diff: per-algorithm movement and flagged regressions."""
+    deltas, gone, added = diff_records(old, new)
+    lines = [f"record diff: {len(deltas)} matched cells"]
+    if gone:
+        lines.append(f"  cells only in OLD: {len(gone)} (e.g. {gone[0]})")
+    if added:
+        lines.append(f"  cells only in NEW: {len(added)} (e.g. {added[0]})")
+
+    by_algo: Dict[str, List[float]] = {}
+    for d in deltas:
+        by_algo.setdefault(d.key[2], []).append(d.ratio)
+    for algo in sorted(by_algo):
+        ratios = np.array(by_algo[algo])
+        lines.append(
+            f"  {algo:>10}: mean ratio {ratios.mean():.3f} "
+            f"(min {ratios.min():.3f}, max {ratios.max():.3f})"
+        )
+
+    regressions = [d for d in deltas if d.ratio < threshold]
+    if regressions:
+        lines.append(f"  {len(regressions)} regression(s) below {threshold:.2f}x:")
+        for d in sorted(regressions, key=lambda d: d.ratio)[:10]:
+            lines.append(
+                f"    {d.key}: {d.old_speedup:.2f} -> {d.new_speedup:.2f} "
+                f"({d.ratio:.2f}x)"
+            )
+    else:
+        lines.append(f"  no regressions below {threshold:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Plain-text report formatting shared by the benchmarks and the CLI.
+
+No plotting dependencies are available offline, so "figures" are emitted as
+aligned data tables (the series a plot would show), and tables as aligned
+text grids — the same rows/columns the paper prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "fmt", "dump_json", "geomean"]
+
+
+def fmt(x, *, digits: int = 2) -> str:
+    """Human formatting: floats rounded, inf/nan spelled out, rest str()."""
+    if isinstance(x, bool):
+        return "yes" if x else "no"
+    if isinstance(x, float):
+        if math.isinf(x):
+            return "inf"
+        if math.isnan(x):
+            return "-"
+        if abs(x) >= 1e5:
+            return f"{x:.3g}"
+        return f"{x:.{digits}f}"
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Render an aligned text table (first column left, rest right aligned)."""
+    srows: List[List[str]] = [[fmt(c, digits=digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(out)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(row) for row in srows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, *, title: str | None = None) -> str:
+    """Render key/value diagnostics."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(str(k)) for k in pairs), default=0)
+    for k, v in pairs.items():
+        lines.append(f"  {str(k).ljust(width)} : {fmt(v)}")
+    return "\n".join(lines)
+
+
+def dump_json(obj, path: str) -> None:
+    """Write a JSON results file (floats as-is, inf encoded as strings)."""
+
+    def default(o):
+        if isinstance(o, float) and (math.isinf(o) or math.isnan(o)):
+            return str(o)
+        if hasattr(o, "__dict__"):
+            return o.__dict__
+        if hasattr(o, "tolist"):
+            return o.tolist()
+        return str(o)
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1, default=default)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-finite entries; 0 if none remain."""
+    vals = [v for v in values if v > 0 and math.isfinite(v)]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,75 @@
+"""Persist and reload harness run records.
+
+Full-suite runs cost minutes of inspection; the tables and figures that
+consume them cost milliseconds.  Storing the flat
+:class:`~repro.suite.harness.RunRecord` list as JSON decouples the two:
+run the grid once (CI, overnight, a beefier machine), regenerate any table
+offline, diff records across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import fields
+from os import PathLike
+from typing import List, Sequence, Union
+
+from .harness import RunRecord
+
+__all__ = ["records_to_json", "records_from_json", "save_records", "load_records"]
+
+_FLOAT_FIELDS = {
+    f.name for f in fields(RunRecord) if f.type in ("float", float)
+}
+
+
+def _encode(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
+def _decode(name: str, value):
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    return value
+
+
+def records_to_json(records: Sequence[RunRecord]) -> str:
+    """Serialise records (non-finite floats encoded as strings)."""
+    blobs = [
+        {k: _encode(v) for k, v in r.__dict__.items()} for r in records
+    ]
+    return json.dumps({"version": 1, "records": blobs}, indent=1)
+
+
+def records_from_json(text: str) -> List[RunRecord]:
+    """Inverse of :func:`records_to_json`; validates the field set."""
+    doc = json.loads(text)
+    if doc.get("version") != 1:
+        raise ValueError(f"unsupported records version {doc.get('version')!r}")
+    expected = {f.name for f in fields(RunRecord)}
+    out: List[RunRecord] = []
+    for blob in doc["records"]:
+        if set(blob) != expected:
+            missing = expected - set(blob)
+            extra = set(blob) - expected
+            raise ValueError(f"record fields mismatch (missing={missing}, extra={extra})")
+        out.append(RunRecord(**{k: _decode(k, v) for k, v in blob.items()}))
+    return out
+
+
+def save_records(records: Sequence[RunRecord], path: Union[str, PathLike]) -> None:
+    """Write run records to a JSON file (see :func:`records_to_json`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(records_to_json(records))
+
+
+def load_records(path: Union[str, PathLike]) -> List[RunRecord]:
+    """Read run records from a JSON file written by :func:`save_records`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return records_from_json(fh.read())

@@ -1,0 +1,100 @@
+"""Tests for HDagg step 1: aggregating densely connected vertices."""
+
+import numpy as np
+import pytest
+
+from repro.core import aggregate_densely_connected, subtree_grouping
+from repro.graph import DAG, coarsen_dag, dag_from_matrix_lower, is_acyclic
+from repro.graph.transitive_reduction import transitive_reduction_two_hop
+
+
+def groups_as_sets(grouping):
+    return {frozenset(g.tolist()) for g in grouping.groups}
+
+
+def test_chain_becomes_one_group():
+    g = DAG.from_edges(4, [0, 1, 2], [1, 2, 3])
+    grouping = subtree_grouping(g)
+    assert groups_as_sets(grouping) == {frozenset({0, 1, 2, 3})}
+
+
+def test_out_tree_groups_fully():
+    """A reversed in-tree (all parents single-out-edge) groups into one."""
+    #   0   1
+    #    \ /
+    #     2    3
+    #      \  /
+    #        4
+    g = DAG.from_edges(5, [0, 1, 2, 3], [2, 2, 4, 4])
+    grouping = subtree_grouping(g)
+    assert groups_as_sets(grouping) == {frozenset({0, 1, 2, 3, 4})}
+
+
+def test_multi_out_edge_vertex_not_grouped(diamond_dag):
+    """Vertex 0 has out-degree > 1 after reduction, so it seeds its own group."""
+    g = transitive_reduction_two_hop(diamond_dag)
+    grouping = subtree_grouping(g)
+    sets = groups_as_sets(grouping)
+    assert frozenset({0}) in sets
+    # 1 and 2 both have a single out-edge into 3 -> grouped with 3
+    assert frozenset({1, 2, 3}) in sets
+
+
+def test_shared_parent_not_stolen():
+    """A parent with edges into two different groups joins neither as a
+    subtree member unless all tree conditions hold."""
+    # 0 -> 1, 0 -> 2; 1 and 2 are sinks
+    g = DAG.from_edges(3, [0, 0], [1, 2])
+    grouping = subtree_grouping(g)
+    sets = groups_as_sets(grouping)
+    assert frozenset({0}) in sets
+    assert frozenset({1}) in sets
+    assert frozenset({2}) in sets
+
+
+def test_grouping_is_partition(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        g_red, grouping = aggregate_densely_connected(g)
+        grouping.validate()
+        assert grouping.n_vertices == g.n, name
+
+
+def test_coarse_dag_acyclic(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        g_red, grouping = aggregate_densely_connected(g)
+        assert is_acyclic(coarsen_dag(g_red, grouping)), name
+
+
+def test_non_sink_members_have_out_degree_one(all_small_matrices):
+    """Within each group, only the seed (smallest-level sink) may have
+    out-degree != 1 in the reduced DAG."""
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        g_red, grouping = aggregate_densely_connected(g)
+        out_deg = g_red.out_degree()
+        for members in grouping.groups:
+            if members.shape[0] == 1:
+                continue
+            multi = [int(v) for v in members if out_deg[v] != 1]
+            # at most the group's sink can deviate
+            assert len(multi) <= 1, (name, multi)
+
+
+def test_kite_cliques_collapse(kite):
+    """Each clique reduces to a chain; the bridge keeps the chain going, so
+    step 1 folds the whole kite chain into one group."""
+    g = dag_from_matrix_lower(kite)
+    g_red, grouping = aggregate_densely_connected(g)
+    assert grouping.n_groups < g.n / 4
+
+
+def test_empty_graph():
+    grouping = subtree_grouping(DAG.empty(0))
+    assert grouping.n_groups == 0
+
+
+def test_all_isolated():
+    grouping = subtree_grouping(DAG.empty(5))
+    assert grouping.n_groups == 5

@@ -1,0 +1,85 @@
+"""Tests for first-fit bin packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import first_fit_pack
+
+
+def test_equal_items_balance():
+    pack = first_fit_pack([1.0] * 8, 4)
+    assert pack.loads.tolist() == [2.0, 2.0, 2.0, 2.0]
+    assert pack.pgp() == 0.0
+
+
+def test_first_fit_order():
+    # target = 6/2 = 3; first two items fill bin 0 to >= 3, rest go to bin 1
+    pack = first_fit_pack([2.0, 2.0, 1.0, 1.0], 2)
+    assert pack.assignment.tolist() == [0, 0, 1, 1]
+
+
+def test_fewer_items_than_bins():
+    pack = first_fit_pack([3.0], 4)
+    assert pack.n_bins_used == 1
+    assert pack.loads[0] == 3.0
+
+
+def test_overflow_goes_to_least_loaded():
+    # items larger than target: each bin reaches target immediately
+    pack = first_fit_pack([10.0, 10.0, 10.0], 2)
+    assert sorted(pack.loads.tolist()) == [10.0, 20.0]
+
+
+def test_empty():
+    pack = first_fit_pack([], 3)
+    assert pack.n_bins_used == 0
+    assert pack.loads.tolist() == [0.0, 0.0, 0.0]
+
+
+def test_items_per_bin_preserves_order():
+    pack = first_fit_pack([1.0, 1.0, 1.0, 1.0], 2)
+    per_bin = pack.items_per_bin(2)
+    assert per_bin[0].tolist() == [0, 1]
+    assert per_bin[1].tolist() == [2, 3]
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        first_fit_pack([-1.0], 2)
+
+
+def test_bad_p_rejected():
+    with pytest.raises(ValueError):
+        first_fit_pack([1.0], 0)
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=0, max_size=64),
+    st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_packing_invariants(costs, p):
+    pack = first_fit_pack(costs, p)
+    # every item assigned to a valid bin
+    assert pack.assignment.shape[0] == len(costs)
+    if costs:
+        assert pack.assignment.min() >= 0
+        assert pack.assignment.max() < p
+    # loads add up
+    assert pack.loads.sum() == pytest.approx(sum(costs))
+    # loads consistent with assignment
+    recomputed = np.zeros(p)
+    for item, b in enumerate(pack.assignment):
+        recomputed[b] += costs[item]
+    np.testing.assert_allclose(recomputed, pack.loads)
+
+
+@given(st.lists(st.floats(0.1, 10.0), min_size=4, max_size=64), st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_max_load_within_target_plus_one_item(costs, p):
+    """First-fit guarantee: max bin <= target + max item."""
+    pack = first_fit_pack(costs, p)
+    target = sum(costs) / p
+    assert pack.loads.max() <= target + max(costs) + 1e-9

@@ -1,0 +1,131 @@
+"""Failure injection: corrupted schedules must never pass validation.
+
+Mutation-style tests: take a correct HDagg schedule and apply every
+corruption an inspector bug could plausibly produce; each must be caught
+by ``Schedule.validate`` or by the dependence-checking executor — never
+silently accepted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule, ScheduleError, WidthPartition, hdagg
+from repro.graph import dag_from_matrix_lower
+from repro.kernels import KERNELS, KernelError
+from repro.sparse import lower_triangle
+
+
+@pytest.fixture
+def setup(mesh_nd):
+    kernel = KERNELS["sptrsv"]
+    low = lower_triangle(mesh_nd)
+    g = kernel.dag(low)
+    s = hdagg(g, kernel.cost(low), 4)
+    return kernel, low, g, s
+
+
+def clone(s: Schedule) -> Schedule:
+    return Schedule.from_dict(s.to_dict())
+
+
+def find_multi_vertex_partition(s):
+    for k, level in enumerate(s.levels):
+        for j, part in enumerate(level):
+            if part.size >= 2:
+                return k, j
+    pytest.skip("no multi-vertex partition in this schedule")
+
+
+def test_dropped_vertex_detected(setup):
+    kernel, low, g, s = setup
+    m = clone(s)
+    k, j = find_multi_vertex_partition(m)
+    part = m.levels[k][j]
+    m.levels[k][j] = WidthPartition(part.core, part.vertices[1:])
+    with pytest.raises(ScheduleError, match="never scheduled|missing"):
+        m.validate(g)
+
+
+def test_duplicated_vertex_detected(setup):
+    kernel, low, g, s = setup
+    m = clone(s)
+    k, j = find_multi_vertex_partition(m)
+    part = m.levels[k][j]
+    dup = np.concatenate([part.vertices, part.vertices[:1]])
+    m.levels[k][j] = WidthPartition(part.core, dup)
+    with pytest.raises(ScheduleError, match="twice|duplicate"):
+        m.validate(g)
+
+
+def test_swapped_levels_detected(setup):
+    kernel, low, g, s = setup
+    if s.n_levels < 2:
+        pytest.skip("single-level schedule")
+    m = clone(s)
+    m.levels[0], m.levels[-1] = m.levels[-1], m.levels[0]
+    with pytest.raises(ScheduleError, match="dependence violated"):
+        m.validate(g)
+
+
+def test_reversed_partition_detected_somewhere(setup):
+    """Reversing a partition's internal order breaks intra-partition deps
+    (whenever the partition actually carries one)."""
+    kernel, low, g, s = setup
+    m = clone(s)
+    tripped = False
+    for k, level in enumerate(m.levels):
+        for j, part in enumerate(level):
+            if part.size < 2:
+                continue
+            m.levels[k][j] = WidthPartition(part.core, part.vertices[::-1].copy())
+            try:
+                m.validate(g)
+            except ScheduleError:
+                tripped = True
+            m.levels[k][j] = part
+    assert tripped
+
+
+def test_core_collision_detected(setup):
+    kernel, low, g, s = setup
+    m = clone(s)
+    target = None
+    for k, level in enumerate(m.levels):
+        if len(level) >= 2 and all(part.core >= 0 for part in level):
+            target = k
+            break
+    if target is None:
+        pytest.skip("no multi-partition static level")
+    level = m.levels[target]
+    m.levels[target][1] = WidthPartition(level[0].core, level[1].vertices)
+    with pytest.raises(ScheduleError, match="core"):
+        m.validate(g)
+
+
+def test_executor_is_second_line_of_defence(setup):
+    """Even without validate(), the kernels refuse a bad order."""
+    kernel, low, g, s = setup
+    order = s.execution_order()[::-1].copy()
+    with pytest.raises(KernelError):
+        kernel.execute_in_order(low, order)
+
+
+def test_foreign_vertex_detected(setup):
+    kernel, low, g, s = setup
+    m = clone(s)
+    k, j = find_multi_vertex_partition(m)
+    part = m.levels[k][j]
+    bad = part.vertices.copy()
+    bad[0] = g.n - 1  # duplicate of some other partition's vertex
+    m.levels[k][j] = WidthPartition(part.core, bad)
+    with pytest.raises(ScheduleError):
+        m.validate(g)
+
+
+def test_wrong_graph_detected(setup):
+    kernel, low, g, s = setup
+    from repro.graph import DAG
+
+    other = DAG.empty(g.n + 1)
+    with pytest.raises(ScheduleError, match="covers"):
+        s.validate(other)

@@ -1,0 +1,109 @@
+"""Tests for HDagg step 2: load-balance preserving wavefront coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.core.lbp import lbp_coarsen
+from repro.graph import DAG, dag_from_matrix_lower
+
+
+def chain(n):
+    return DAG.from_edges(n, list(range(n - 1)), list(range(1, n)))
+
+
+def parallel_chains(k, depth):
+    """k independent chains of the given depth (interleaved ids)."""
+    src, dst = [], []
+    for c in range(k):
+        for d in range(depth - 1):
+            src.append(d * k + c)
+            dst.append((d + 1) * k + c)
+    return DAG.from_edges(k * depth, src, dst)
+
+
+def test_parallel_chains_merge_fully():
+    """With >= p balanced components, every wavefront merges into one CW."""
+    g = parallel_chains(4, 6)
+    res = lbp_coarsen(g, np.ones(g.n), p=2, epsilon=0.2)
+    assert len(res.coarsened) == 1
+    cw = res.coarsened[0]
+    assert cw.wave_lo == 0 and cw.wave_hi == 6
+    assert len(cw.components) == 4
+    assert not res.fine_grained
+
+
+def test_single_chain_cannot_merge():
+    """One chain = one component: merging never helps, every wave single."""
+    g = chain(5)
+    res = lbp_coarsen(g, np.ones(5), p=2, epsilon=0.2)
+    # each wavefront has one vertex; merging any two gives 1 CC on 2 cores
+    # with PGP 0.5 > eps, so all 5 waves stay separate
+    assert len(res.coarsened) == 5
+    assert res.fine_grained  # accumulated imbalance is 0.5 > eps
+
+
+def test_epsilon_one_merges_everything():
+    g = chain(5)
+    res = lbp_coarsen(g, np.ones(5), p=2, epsilon=1.0)
+    assert len(res.coarsened) == 1
+
+
+def test_cut_positions_reported():
+    g = parallel_chains(2, 4)
+    res = lbp_coarsen(g, np.ones(g.n), p=2, epsilon=0.05)
+    assert res.cut_positions == [cw.wave_lo for cw in res.coarsened[1:]]
+
+
+def test_coverage_is_exact(mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    res = lbp_coarsen(g, np.ones(g.n), p=4, epsilon=0.3)
+    seen = np.concatenate(
+        [np.concatenate(cw.components) for cw in res.coarsened]
+    )
+    assert np.array_equal(np.sort(seen), np.arange(g.n))
+    # ranges tile [0, l)
+    lo = 0
+    for cw in res.coarsened:
+        assert cw.wave_lo == lo
+        assert cw.wave_hi > cw.wave_lo
+        lo = cw.wave_hi
+    assert lo == res.waves.n_levels
+
+
+def test_imbalanced_costs_force_cut():
+    """A heavy vertex mid-stream breaks the merge at that wavefront."""
+    g = parallel_chains(2, 6)
+    cost = np.ones(g.n)
+    cost[2 * 3] = 100.0  # one chain's level-3 vertex is huge
+    res = lbp_coarsen(g, cost, p=2, epsilon=0.1)
+    assert len(res.coarsened) > 1
+
+
+def test_accumulated_pgp_range(mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    res = lbp_coarsen(g, np.ones(g.n), p=4)
+    assert 0.0 <= res.accumulated_pgp <= 1.0
+
+
+def test_fine_grained_flag_controlled():
+    g = chain(5)
+    res = lbp_coarsen(g, np.ones(5), p=2, epsilon=0.2, allow_fine_grained=False)
+    assert not res.fine_grained
+
+
+def test_empty_graph():
+    res = lbp_coarsen(DAG.empty(0), np.zeros(0), p=2)
+    assert res.coarsened == []
+    assert not res.fine_grained
+
+
+def test_cost_length_checked():
+    with pytest.raises(ValueError):
+        lbp_coarsen(chain(4), np.ones(3), p=2)
+
+
+def test_single_wavefront_graph():
+    g = DAG.empty(6)  # no edges: one wavefront
+    res = lbp_coarsen(g, np.ones(6), p=3, epsilon=0.2)
+    assert len(res.coarsened) == 1
+    assert res.coarsened[0].packing.n_bins_used == 3

@@ -1,0 +1,73 @@
+"""Tests for building dependence DAGs from matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    dag_from_lower_triangular,
+    dag_from_matrix_lower,
+    dag_to_matrix_pattern,
+)
+from repro.sparse import csr_from_dense, lower_triangle
+
+
+def test_edges_follow_lower_entries():
+    dense = np.array(
+        [
+            [2.0, 0, 0, 0],
+            [1.0, 2, 0, 0],
+            [0.0, 1, 2, 0],
+            [1.0, 0, 1, 2],
+        ]
+    )
+    g = dag_from_lower_triangular(csr_from_dense(dense))
+    assert set(g.iter_edges()) == {(0, 1), (1, 2), (0, 3), (2, 3)}
+
+
+def test_diagonal_contributes_no_edges():
+    g = dag_from_lower_triangular(csr_from_dense(np.eye(3)))
+    assert g.n_edges == 0
+
+
+def test_full_matrix_uses_lower_only(mesh):
+    low = lower_triangle(mesh)
+    assert dag_from_matrix_lower(mesh) == dag_from_lower_triangular(low)
+
+
+def test_dag_is_id_topological(mesh):
+    assert dag_from_matrix_lower(mesh).is_id_topological()
+
+
+def test_requires_square():
+    with pytest.raises(ValueError, match="square"):
+        dag_from_lower_triangular(csr_from_dense(np.ones((2, 3))))
+
+
+def test_vertex_count_equals_rows(mesh):
+    assert dag_from_matrix_lower(mesh).n == mesh.n_rows
+
+
+def test_dag_to_matrix_pattern_roundtrip(mesh):
+    g = dag_from_matrix_lower(mesh)
+    pattern = dag_to_matrix_pattern(g)
+    assert dag_from_matrix_lower(pattern) == g
+    assert pattern.has_full_diagonal()
+
+
+def test_dag_to_matrix_rejects_non_id_topological():
+    from repro.graph import DAG
+
+    g = DAG.from_edges(3, [2], [0])  # wait: 2 -> 0 violates src < dst
+    with pytest.raises(ValueError, match="id-topological"):
+        dag_to_matrix_pattern(g)
+
+
+def test_same_dag_for_all_kernels(mesh):
+    """Section III: all three kernels reuse the lower pattern as the DAG."""
+    from repro.kernels import SpIC0, SpILU0, SpTRSV
+
+    low = lower_triangle(mesh)
+    g_trsv = SpTRSV().dag(low)
+    g_ic0 = SpIC0().dag(mesh)
+    g_ilu = SpILU0().dag(mesh)
+    assert g_trsv == g_ic0 == g_ilu

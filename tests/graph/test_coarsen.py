@@ -1,0 +1,83 @@
+"""Tests for vertex grouping and DAG coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DAG,
+    Grouping,
+    coarsen_dag,
+    grouping_from_groups,
+    grouping_from_labels,
+    identity_grouping,
+    is_acyclic,
+)
+
+
+def test_grouping_from_labels_densifies():
+    g = grouping_from_labels(np.array([5, 5, 9, 5]))
+    assert g.n_groups == 2
+    assert g.labels.tolist() == [0, 0, 1, 0]
+    assert [x.tolist() for x in g.groups] == [[0, 1, 3], [2]]
+
+
+def test_grouping_from_groups():
+    g = grouping_from_groups(4, [[2, 0], [1], [3]])
+    assert g.labels.tolist() == [0, 1, 0, 2]
+    assert g.groups[0].tolist() == [0, 2]
+    g.validate()
+
+
+def test_grouping_overlap_rejected():
+    with pytest.raises(ValueError, match="overlap"):
+        grouping_from_groups(3, [[0, 1], [1, 2]])
+
+
+def test_grouping_cover_required():
+    with pytest.raises(ValueError, match="cover"):
+        grouping_from_groups(3, [[0], [2]])
+
+
+def test_identity_grouping():
+    g = identity_grouping(3)
+    assert g.n_groups == 3
+    g.validate()
+
+
+def test_group_sizes_and_costs():
+    g = grouping_from_groups(4, [[0, 1, 2], [3]])
+    assert g.group_sizes().tolist() == [3, 1]
+    costs = g.group_costs(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert costs.tolist() == [6.0, 4.0]
+
+
+def test_coarsen_diamond(diamond_dag):
+    grouping = grouping_from_groups(4, [[0, 1], [2], [3]])
+    g2 = coarsen_dag(diamond_dag, grouping)
+    assert g2.n == 3
+    # intra-group edge 0->1 dropped; edges dedup to {g0->g1, g0->g2, g1->g2}
+    assert set(g2.iter_edges()) == {(0, 1), (0, 2), (1, 2)}
+
+
+def test_coarsen_keeps_acyclic_for_convex_groups(kite):
+    from repro.core.aggregation import aggregate_densely_connected
+    from repro.graph import dag_from_matrix_lower
+
+    g = dag_from_matrix_lower(kite)
+    g_red, grouping = aggregate_densely_connected(g)
+    grouping.validate()
+    g2 = coarsen_dag(g_red, grouping)
+    assert is_acyclic(g2)
+    assert g2.n == grouping.n_groups
+
+
+def test_coarsen_identity_is_same_graph(diamond_dag):
+    g2 = coarsen_dag(diamond_dag, identity_grouping(4))
+    assert g2 == DAG.from_edges(4, *map(list, zip(*diamond_dag.iter_edges())))
+
+
+def test_coarsen_all_into_one():
+    g = DAG.from_edges(3, [0, 1], [1, 2])
+    g2 = coarsen_dag(g, grouping_from_groups(3, [[0, 1, 2]]))
+    assert g2.n == 1
+    assert g2.n_edges == 0

@@ -1,0 +1,95 @@
+"""Tests for the Shiloach-Vishkin connected components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DAG,
+    components_as_lists,
+    connected_components_of_subset,
+    dag_from_matrix_lower,
+    shiloach_vishkin,
+)
+
+
+class TestShiloachVishkin:
+    def test_no_edges(self):
+        labels = shiloach_vishkin(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_single_component(self):
+        labels = shiloach_vishkin(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert len(set(labels.tolist())) == 1
+        assert labels[0] == 0  # label = smallest member
+
+    def test_two_components(self):
+        labels = shiloach_vishkin(5, np.array([0, 3]), np.array([1, 4]))
+        assert labels.tolist() == [0, 0, 2, 3, 3]
+
+    def test_edge_direction_irrelevant(self):
+        a = shiloach_vishkin(3, np.array([0]), np.array([2]))
+        b = shiloach_vishkin(3, np.array([2]), np.array([0]))
+        np.testing.assert_array_equal(a, b)
+
+    def test_star(self):
+        n = 10
+        src = np.zeros(n - 1, dtype=np.int64)
+        dst = np.arange(1, n, dtype=np.int64)
+        labels = shiloach_vishkin(n, src, dst)
+        assert np.all(labels == 0)
+
+    @given(st.integers(2, 30), st.integers(0, 60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_networkx(self, n, m, seed):
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        labels = shiloach_vishkin(n, src, dst)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        for comp in nx.connected_components(g):
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+            assert comp_labels.pop() == min(comp)
+
+
+class TestSubsetComponents:
+    def test_subset_excludes_outside_edges(self):
+        # path 0-1-2-3; subset {0, 2, 3}: 0 alone, {2, 3} together
+        g = DAG.from_edges(4, [0, 1, 2], [1, 2, 3])
+        comps = components_as_lists(g, np.array([0, 2, 3]))
+        assert [c.tolist() for c in comps] == [[0], [2, 3]]
+
+    def test_labels_ordered_by_smallest_member(self):
+        g = DAG.from_edges(6, [4, 0], [5, 1])
+        labels, verts = connected_components_of_subset(g, np.array([4, 5, 0, 1]))
+        assert verts.tolist() == [0, 1, 4, 5]
+        assert labels.tolist() == [0, 0, 1, 1]
+
+    def test_empty_subset(self):
+        g = DAG.from_edges(3, [0], [1])
+        assert components_as_lists(g, np.array([], dtype=np.int64)) == []
+
+    def test_full_graph_components(self, blocks):
+        g = dag_from_matrix_lower(blocks)
+        comps = components_as_lists(g, np.arange(g.n))
+        assert len(comps) == 12  # 12 diagonal blocks
+        assert all(c.shape[0] == 8 for c in comps)
+
+    def test_members_sorted(self, irregular):
+        g = dag_from_matrix_lower(irregular)
+        comps = components_as_lists(g, np.arange(0, g.n, 2))
+        seen = np.concatenate(comps)
+        assert np.array_equal(np.sort(seen), np.arange(0, g.n, 2))
+        for c in comps:
+            assert np.all(np.diff(c) > 0)
+        # ordered by smallest member
+        firsts = [int(c[0]) for c in comps]
+        assert firsts == sorted(firsts)

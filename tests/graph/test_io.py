@@ -1,0 +1,74 @@
+"""Tests for DAG edge-list and dot export."""
+
+import numpy as np
+import pytest
+
+from repro.core import hdagg
+from repro.graph import (
+    DAG,
+    dag_from_matrix_lower,
+    from_edge_list,
+    read_edge_list,
+    to_dot,
+    to_edge_list,
+    write_edge_list,
+)
+
+
+def test_edge_list_roundtrip(diamond_dag):
+    assert from_edge_list(to_edge_list(diamond_dag)) == diamond_dag
+
+
+def test_edge_list_roundtrip_real(mesh):
+    g = dag_from_matrix_lower(mesh)
+    assert from_edge_list(to_edge_list(g)) == g
+
+
+def test_edge_list_empty_graph():
+    g = DAG.empty(4)
+    text = to_edge_list(g)
+    assert text.splitlines()[0] == "4 0"
+    assert from_edge_list(text) == g
+
+
+def test_edge_list_comments_ignored():
+    text = "# header comment\n3 1\n0 2\n"
+    g = from_edge_list(text)
+    assert g.has_edge(0, 2)
+
+
+def test_edge_list_validation():
+    with pytest.raises(ValueError, match="header"):
+        from_edge_list("")
+    with pytest.raises(ValueError, match="declared"):
+        from_edge_list("3 2\n0 1\n")
+
+
+def test_file_roundtrip(tmp_path, diamond_dag):
+    path = tmp_path / "g.txt"
+    write_edge_list(diamond_dag, path)
+    assert read_edge_list(path) == diamond_dag
+
+
+def test_dot_plain(diamond_dag):
+    dot = to_dot(diamond_dag)
+    assert dot.startswith("digraph dag {")
+    assert "0 -> 1;" in dot
+    assert dot.count("->") == diamond_dag.n_edges
+
+
+def test_dot_with_schedule(mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    s = hdagg(g, np.ones(g.n), 4)
+    dot = to_dot(g, s, name="mesh")
+    assert "digraph mesh" in dot
+    assert "rank=same" in dot
+    assert "@" in dot  # core annotations
+    assert dot.count("->") == g.n_edges
+
+
+def test_dot_schedule_size_mismatch(diamond_dag, mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    s = hdagg(g, np.ones(g.n), 2)
+    with pytest.raises(ValueError, match="match"):
+        to_dot(diamond_dag, s)

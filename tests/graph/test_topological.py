@@ -1,0 +1,73 @@
+"""Tests for topological ordering and schedule-order verification."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DAG,
+    CycleError,
+    dag_from_matrix_lower,
+    is_acyclic,
+    topological_order,
+    verify_schedule_order,
+)
+from repro.sparse import lower_triangle
+
+
+def test_topological_order_linear_chain():
+    g = DAG.from_edges(4, [0, 1, 2], [1, 2, 3])
+    np.testing.assert_array_equal(topological_order(g), [0, 1, 2, 3])
+
+
+def test_topological_order_respects_edges(irregular):
+    g = dag_from_matrix_lower(irregular)
+    order = topological_order(g)
+    assert verify_schedule_order(g, order)
+
+
+def test_topological_order_deterministic(mesh):
+    g = dag_from_matrix_lower(mesh)
+    np.testing.assert_array_equal(topological_order(g), topological_order(g))
+
+
+def test_cycle_detected():
+    # 0 -> 1 -> 2 -> 0 plus an acyclic part
+    g = DAG(4, np.array([0, 1, 2, 3, 3]), np.array([1, 2, 0]), check=False)
+    with pytest.raises(CycleError):
+        topological_order(g)
+    assert not is_acyclic(g)
+
+
+def test_acyclic_check(mesh):
+    assert is_acyclic(dag_from_matrix_lower(mesh))
+
+
+def test_empty_graph():
+    g = DAG.empty(0)
+    assert topological_order(g).size == 0
+
+
+def test_no_edges():
+    g = DAG.empty(3)
+    np.testing.assert_array_equal(topological_order(g), [0, 1, 2])
+
+
+def test_verify_schedule_order_detects_violation():
+    g = DAG.from_edges(3, [0, 1], [1, 2])
+    assert verify_schedule_order(g, np.array([0, 1, 2]))
+    assert not verify_schedule_order(g, np.array([1, 0, 2]))
+
+
+def test_verify_schedule_order_rejects_non_permutation():
+    g = DAG.from_edges(2, [0], [1])
+    with pytest.raises(ValueError):
+        verify_schedule_order(g, np.array([0, 0]))
+    with pytest.raises(ValueError):
+        verify_schedule_order(g, np.array([0]))
+
+
+def test_all_kernel_dags_are_acyclic(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        assert is_acyclic(g), name
+        assert g.is_id_topological(), name

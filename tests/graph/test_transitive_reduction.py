@@ -1,0 +1,100 @@
+"""Tests for the two-hop transitive reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DAG,
+    dag_from_matrix_lower,
+    topological_order,
+    transitive_edge_mask,
+    transitive_reduction_reference,
+    transitive_reduction_two_hop,
+)
+
+
+def reachable_pairs(g: DAG) -> set:
+    """All (u, v) with a directed path u -> ... -> v (test oracle)."""
+    import networkx as nx
+
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.n))
+    nxg.add_edges_from(g.iter_edges())
+    closure = nx.transitive_closure(nxg)
+    return set(closure.edges())
+
+
+def test_diamond(diamond_dag):
+    r = transitive_reduction_two_hop(diamond_dag)
+    assert r.n_edges == 4
+    assert not r.has_edge(0, 3)
+    assert r.has_edge(0, 1) and r.has_edge(1, 3)
+
+
+def test_chain_untouched():
+    g = DAG.from_edges(4, [0, 1, 2], [1, 2, 3])
+    assert transitive_reduction_two_hop(g) == g
+
+
+def test_total_order_becomes_chain():
+    # complete DAG on 5 vertices: all (i, j) i < j; two-hop leaves the chain
+    src, dst = zip(*[(i, j) for i in range(5) for j in range(i + 1, 5)])
+    g = DAG.from_edges(5, list(src), list(dst))
+    r = transitive_reduction_two_hop(g)
+    assert list(r.iter_edges()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def test_three_hop_not_removed():
+    # 0->1->2->3 and 0->3: only a 3-hop path certifies 0->3, so the
+    # two-hop approximation keeps it (documented behaviour, matching [4]).
+    g = DAG.from_edges(4, [0, 1, 2, 0], [1, 2, 3, 3])
+    r = transitive_reduction_two_hop(g)
+    assert r.has_edge(0, 3)
+
+
+def test_mask_marks_only_transitive(diamond_dag):
+    mask = transitive_edge_mask(diamond_dag)
+    src, dst = diamond_dag.edge_list()
+    marked = {(int(s), int(d)) for s, d, m in zip(src, dst, mask) if m}
+    assert marked == {(0, 3)}
+
+
+def test_reference_agrees(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        assert transitive_reduction_two_hop(g) == transitive_reduction_reference(g), name
+
+
+def test_reachability_preserved(kite):
+    g = dag_from_matrix_lower(kite)
+    r = transitive_reduction_two_hop(g)
+    assert r.n_edges < g.n_edges  # cliques shrink
+    assert reachable_pairs(g) == reachable_pairs(r)
+
+
+def test_no_edges():
+    g = DAG.empty(3)
+    assert transitive_reduction_two_hop(g) == g
+    assert transitive_edge_mask(g).size == 0
+
+
+@given(st.integers(2, 12), st.integers(0, 30), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_reachability_and_minimality(n, m, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src < dst  # id-topological random DAG
+    g = DAG.from_edges(n, src[keep], dst[keep])
+    r = transitive_reduction_two_hop(g)
+    # edges only removed, never added
+    kept = set(r.iter_edges())
+    assert kept <= set(g.iter_edges())
+    # reachability identical
+    assert reachable_pairs(g) == reachable_pairs(r)
+    # still a DAG with the same vertex set
+    assert topological_order(r).shape[0] == n
+    # agreement with the loop-based oracle
+    assert r == transitive_reduction_reference(g)

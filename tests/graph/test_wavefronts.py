@@ -1,0 +1,81 @@
+"""Tests for wavefront (level-set) computation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DAG, CycleError, compute_wavefronts, dag_from_matrix_lower, level_of_vertices
+
+
+def test_chain_levels():
+    g = DAG.from_edges(4, [0, 1, 2], [1, 2, 3])
+    w = compute_wavefronts(g)
+    assert w.n_levels == 4
+    assert w.level.tolist() == [0, 1, 2, 3]
+    assert w.sizes().tolist() == [1, 1, 1, 1]
+
+
+def test_diamond_levels(diamond_dag):
+    w = compute_wavefronts(diamond_dag)
+    # 0 | 1,2 | 3  — the transitive edge 0->3 does not change levels
+    assert w.level.tolist() == [0, 1, 1, 2]
+    assert w.wavefront(1).tolist() == [1, 2]
+
+
+def test_levels_are_longest_paths():
+    # 0 -> 1 -> 3, 0 -> 3: level(3) must be 2 (longest path), not 1
+    g = DAG.from_edges(4, [0, 1, 0, 2], [1, 3, 3, 3])
+    assert level_of_vertices(g).tolist() == [0, 1, 0, 2]
+
+
+def test_wavefront_slices(mesh):
+    g = dag_from_matrix_lower(mesh)
+    w = compute_wavefronts(g)
+    total = sum(w.wavefront(k).shape[0] for k in range(w.n_levels))
+    assert total == g.n
+    # wavefront k members all have level k, ascending ids
+    for k in range(w.n_levels):
+        verts = w.wavefront(k)
+        assert np.all(w.level[verts] == k)
+        assert np.all(np.diff(verts) > 0)
+
+
+def test_vertices_in_range(mesh):
+    g = dag_from_matrix_lower(mesh)
+    w = compute_wavefronts(g)
+    both = w.vertices_in_range(0, 2)
+    manual = np.concatenate([w.wavefront(0), w.wavefront(1)])
+    np.testing.assert_array_equal(np.sort(both), np.sort(manual))
+
+
+def test_every_edge_crosses_levels(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        g = dag_from_matrix_lower(a)
+        w = compute_wavefronts(g)
+        src, dst = g.edge_list()
+        assert np.all(w.level[src] < w.level[dst]), name
+
+
+def test_no_edges_single_level():
+    w = compute_wavefronts(DAG.empty(5))
+    assert w.n_levels == 1
+    assert w.wavefront(0).tolist() == [0, 1, 2, 3, 4]
+
+
+def test_empty_graph():
+    w = compute_wavefronts(DAG.empty(0))
+    assert w.n_levels == 0
+    assert w.order.size == 0
+
+
+def test_cycle_raises():
+    g = DAG(3, np.array([0, 1, 2, 3]), np.array([1, 2, 0]), check=False)
+    with pytest.raises(CycleError):
+        compute_wavefronts(g)
+
+
+def test_blocks_have_block_depth_levels(blocks):
+    g = dag_from_matrix_lower(blocks)
+    w = compute_wavefronts(g)
+    # dense 8-vertex blocks: critical path = 8 levels, 12 blocks wide
+    assert w.n_levels == 8
+    assert all(s == 12 for s in w.sizes().tolist())

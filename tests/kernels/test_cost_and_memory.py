@@ -1,0 +1,134 @@
+"""Tests for cost functions, memory traces, and the edge memory model."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KERNELS,
+    MemoryModel,
+    SpIC0,
+    SpILU0,
+    SpTRSV,
+    lines_of_rows,
+    spic0_cost,
+    spilu0_cost,
+    sptrsv_cost,
+    uniform_cost,
+)
+from repro.kernels._trace import trace_self_plus_lower_neighbors
+from repro.sparse import csr_from_dense, lower_triangle
+
+
+@pytest.fixture
+def small():
+    dense = np.array(
+        [
+            [4.0, 1, 0, 1],
+            [1, 4, 1, 0],
+            [0, 1, 4, 1],
+            [1, 0, 1, 4],
+        ]
+    )
+    return csr_from_dense(dense)
+
+
+class TestCosts:
+    def test_sptrsv_cost(self, small):
+        low = lower_triangle(small)
+        np.testing.assert_array_equal(sptrsv_cost(low), [1, 2, 2, 3])
+
+    def test_spic0_cost(self, small):
+        # lower row sizes: [1, 2, 2, 3]
+        # cost[i] = own + sum(lower sizes of below-diagonal neighbours)
+        np.testing.assert_array_equal(spic0_cost(small), [1, 2 + 1, 2 + 2, 3 + 1 + 2])
+
+    def test_spilu0_cost(self, small):
+        # full row sizes: [3, 3, 3, 3]
+        np.testing.assert_array_equal(spilu0_cost(small), [3, 6, 6, 9])
+
+    def test_uniform(self):
+        np.testing.assert_array_equal(uniform_cost(3), [1.0, 1.0, 1.0])
+
+    def test_costs_positive_everywhere(self, all_small_matrices):
+        for name, a in all_small_matrices.items():
+            low = lower_triangle(a)
+            for c in (sptrsv_cost(low), spic0_cost(a), spilu0_cost(a)):
+                assert np.all(c > 0), name
+
+
+class TestLinesOfRows:
+    def test_counts(self, small):
+        per_row, base = lines_of_rows(small, line_elems=2)
+        np.testing.assert_array_equal(per_row, [2, 2, 2, 2])  # ceil(3/2)
+        np.testing.assert_array_equal(base, [0, 2, 4, 6, 8])
+
+    def test_minimum_one_line(self):
+        a = csr_from_dense(np.eye(3))
+        per_row, _ = lines_of_rows(a, line_elems=8)
+        np.testing.assert_array_equal(per_row, [1, 1, 1])
+
+
+class TestFactorTrace:
+    def test_trace_structure(self, small):
+        low = lower_triangle(small)
+        ptr, lines = trace_self_plus_lower_neighbors(low, line_elems=2)
+        assert ptr.shape[0] == 5
+        assert int(ptr[-1]) == lines.shape[0]
+        # iteration 0 touches only its own row's lines
+        per_row, base = lines_of_rows(low, line_elems=2)
+        own0 = lines[ptr[0] : ptr[1]]
+        assert own0.tolist() == list(range(base[0], base[1]))
+
+    def test_trace_includes_neighbor_rows(self, small):
+        low = lower_triangle(small)
+        ptr, lines = trace_self_plus_lower_neighbors(low, line_elems=2)
+        per_row, base = lines_of_rows(low, line_elems=2)
+        # row 3 has lower neighbours 0 and 2: their lines must appear after its own
+        seg = lines[ptr[3] : ptr[4]].tolist()
+        own = list(range(base[3], base[4]))
+        assert seg[: len(own)] == own
+        assert set(seg[len(own) :]) == set(range(base[0], base[1])) | set(
+            range(base[2], base[3])
+        )
+
+    def test_trace_lengths_match_cost_shape(self, mesh):
+        ptr, lines = trace_self_plus_lower_neighbors(lower_triangle(mesh))
+        assert ptr.shape[0] == mesh.n_rows + 1
+        assert np.all(np.diff(ptr) >= 1)
+
+
+class TestMemoryModel:
+    def test_validate_rejects_mismatch(self, small):
+        k = SpTRSV()
+        low = lower_triangle(small)
+        g = k.dag(low)
+        m = k.memory_model(low, g)
+        with pytest.raises(ValueError):
+            MemoryModel(m.stream_lines[:-1], m.edge_lines).validate(g)
+        with pytest.raises(ValueError):
+            MemoryModel(m.stream_lines, m.edge_lines[:-1]).validate(g)
+
+    def test_totals(self, small):
+        k = SpTRSV()
+        low = lower_triangle(small)
+        g = k.dag(low)
+        m = k.memory_model(low, g)
+        assert m.total_accesses == m.total_stream + m.total_edge
+        assert m.total_edge == g.n_edges  # 1 line per edge for sptrsv
+
+    @pytest.mark.parametrize("kname", ["sptrsv", "spic0", "spilu0"])
+    def test_all_kernels_produce_models(self, kname, mesh):
+        k = KERNELS[kname]
+        operand = lower_triangle(mesh) if kname == "sptrsv" else mesh
+        g = k.dag(operand)
+        m = k.memory_model(operand, g)
+        m.validate(g)
+        assert m.total_accesses > 0
+        assert np.all(m.stream_lines > 0)
+
+    def test_ilu0_edges_heavier_than_ic0(self, mesh):
+        """ILU0 re-reads full rows; IC0 only lower rows — ILU0 moves more."""
+        g = SpILU0().dag(mesh)
+        ilu = SpILU0().memory_model(mesh, g)
+        ic = SpIC0().memory_model(mesh, g)
+        assert ilu.total_edge >= ic.total_edge

@@ -1,0 +1,105 @@
+"""Tests for the Gauss-Seidel kernel extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import hdagg
+from repro.kernels import (
+    KERNELS,
+    GaussSeidel,
+    KernelError,
+    gauss_seidel_in_order,
+    gauss_seidel_sweep,
+)
+from repro.sparse import csr_from_dense
+
+
+@pytest.fixture
+def kernel():
+    return GaussSeidel()
+
+
+def test_registered(kernel):
+    assert KERNELS["gauss_seidel"].name == "gauss_seidel"
+
+
+def test_sweep_matches_dense_formula(rng):
+    dense = rng.random((6, 6)) + 6 * np.eye(6)
+    a = csr_from_dense(dense)
+    b = rng.normal(size=6)
+    x_old = rng.normal(size=6)
+    got = gauss_seidel_sweep(a, b, x_old)
+    # textbook: (D + L) x_new = b - U x_old
+    dl = np.tril(dense)
+    u = np.triu(dense, 1)
+    expected = np.linalg.solve(dl, b - u @ x_old)
+    np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+
+def test_sweeps_converge_on_spd(mesh, rng):
+    b = rng.normal(size=mesh.n_rows)
+    x = np.zeros(mesh.n_rows)
+    res = [np.linalg.norm(mesh.matvec(x) - b)]
+    for _ in range(20):
+        x = gauss_seidel_sweep(mesh, b, x)
+        res.append(np.linalg.norm(mesh.matvec(x) - b))
+    assert res[-1] < 1e-3 * res[0]
+    assert all(r2 <= r1 + 1e-12 for r1, r2 in zip(res, res[1:]))
+
+
+def test_in_order_matches_reference(mesh, kernel, rng):
+    b = rng.normal(size=mesh.n_rows)
+    from repro.graph import topological_order
+
+    order = topological_order(kernel.dag(mesh))
+    np.testing.assert_allclose(
+        gauss_seidel_in_order(mesh, order, b),
+        gauss_seidel_sweep(mesh, b),
+        rtol=1e-12,
+    )
+
+
+def test_scheduled_sweep_order_independent(mesh_nd, kernel, rng):
+    """Any valid schedule produces the identical sweep (two-vector form)."""
+    from repro.runtime import execute_schedule
+
+    b = rng.normal(size=mesh_nd.n_rows)
+    g = kernel.dag(mesh_nd)
+    s = hdagg(g, kernel.cost(mesh_nd), 4)
+    ref = kernel.reference(mesh_nd, b)
+    for seed in (0, 1):
+        got = execute_schedule(kernel, mesh_nd, s, b, interleave_seed=seed)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+
+def test_violation_detected(mesh, kernel):
+    order = np.arange(mesh.n_rows)[::-1].copy()
+    with pytest.raises(KernelError, match="relaxed before"):
+        gauss_seidel_in_order(mesh, order, np.ones(mesh.n_rows))
+
+
+def test_validation():
+    missing_diag = csr_from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+    with pytest.raises(KernelError, match="diagonal"):
+        gauss_seidel_sweep(missing_diag, np.ones(2))
+    nonsquare = csr_from_dense(np.ones((2, 3)))
+    with pytest.raises(KernelError, match="square"):
+        gauss_seidel_sweep(nonsquare, np.ones(2))
+
+
+def test_inspector_interface(mesh, kernel):
+    g = kernel.dag(mesh)
+    assert g.n == mesh.n_rows
+    cost = kernel.cost(mesh)
+    np.testing.assert_array_equal(cost, mesh.row_nnz().astype(float))
+    m = kernel.memory_model(mesh, g)
+    m.validate(g)
+    ptr, lines = kernel.memory_trace(mesh)
+    assert int(ptr[-1]) == lines.shape[0]
+
+
+def test_verify_metric(mesh, kernel, rng):
+    b = rng.normal(size=mesh.n_rows)
+    good = kernel.reference(mesh, b)
+    assert kernel.verify(mesh, good, b) < 1e-12
+    assert kernel.verify(mesh, good + 1.0, b) > 0.01

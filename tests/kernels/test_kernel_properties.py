@@ -1,0 +1,100 @@
+"""Property-based numeric tests for the kernels (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import topological_order
+from repro.kernels import (
+    SpIC0,
+    SpILU0,
+    SpTRSV,
+    gauss_seidel_sweep,
+    sptrsv_levelwise,
+    sptrsv_reference,
+    sptrsv_transpose_levelwise,
+)
+from repro.sparse import csr_from_dense, lower_triangle, spd_from_pattern
+
+
+@st.composite
+def random_spd_matrices(draw, max_n=24):
+    """Seeded random SPD matrices of modest size."""
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, 3 * max_n))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(1, n, size=m)
+    cols = (rng.random(m) * rows).astype(np.int64)
+    pair = np.unique(np.stack([rows, cols], axis=1), axis=0)
+    return spd_from_pattern(n, pair[:, 0], pair[:, 1], seed=seed)
+
+
+@given(random_spd_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sptrsv_solves_exactly(a, seed):
+    low = lower_triangle(a)
+    rng = np.random.default_rng(seed)
+    x_true = rng.normal(size=a.n_rows)
+    b = low.matvec(x_true)
+    for solver in (sptrsv_reference, sptrsv_levelwise):
+        x = solver(low, b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-10)
+
+
+@given(random_spd_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_transpose_solve_inverts(a, seed):
+    low = lower_triangle(a)
+    rng = np.random.default_rng(seed)
+    x_true = rng.normal(size=a.n_rows)
+    b = low.transpose().matvec(x_true)
+    x = sptrsv_transpose_levelwise(low, b)
+    np.testing.assert_allclose(x, x_true, rtol=1e-8, atol=1e-10)
+
+
+@given(random_spd_matrices())
+@settings(max_examples=30, deadline=None)
+def test_ic0_defect_zero_on_pattern(a):
+    kernel = SpIC0()
+    factor = kernel.reference(a)
+    assert kernel.verify(a, factor) < 1e-9
+    assert np.all(factor.diagonal() > 0)
+
+
+@given(random_spd_matrices())
+@settings(max_examples=30, deadline=None)
+def test_ilu0_defect_zero_on_pattern(a):
+    kernel = SpILU0()
+    factor = kernel.reference(a)
+    assert kernel.verify(a, factor) < 1e-9
+
+
+@given(random_spd_matrices())
+@settings(max_examples=25, deadline=None)
+def test_factorisations_order_invariant(a):
+    """Any topological order yields the same factor values."""
+    for kernel in (SpIC0(), SpILU0()):
+        g = kernel.dag(a)
+        order = topological_order(g)
+        ref = kernel.reference(a)
+        got = kernel.execute_in_order(a, order)
+        np.testing.assert_allclose(got.data, ref.data, rtol=1e-9, atol=1e-12)
+
+
+@given(random_spd_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_gauss_seidel_contracts_on_spd(a, seed):
+    """One forward sweep never increases the A-norm error on SPD systems."""
+    rng = np.random.default_rng(seed)
+    x_true = rng.normal(size=a.n_rows)
+    b = a.matvec(x_true)
+    x0 = rng.normal(size=a.n_rows)
+    x1 = gauss_seidel_sweep(a, b, x0)
+    dense = a.to_dense()
+
+    def a_norm(e):
+        return float(e @ (dense @ e))
+
+    assert a_norm(x1 - x_true) <= a_norm(x0 - x_true) + 1e-9

@@ -1,0 +1,59 @@
+"""Tests for the multi-right-hand-side triangular solve."""
+
+import numpy as np
+import pytest
+
+from repro.graph import compute_wavefronts, dag_from_lower_triangular
+from repro.kernels import sptrsv_levelwise, sptrsv_levelwise_multi, sptrsv_reference
+from repro.sparse import lower_triangle
+
+
+@pytest.fixture
+def low(mesh):
+    return lower_triangle(mesh)
+
+
+def test_matches_per_column_solves(low, rng):
+    B = rng.normal(size=(low.n_rows, 5))
+    X = sptrsv_levelwise_multi(low, B)
+    for k in range(5):
+        np.testing.assert_allclose(
+            X[:, k], sptrsv_reference(low, B[:, k]), rtol=1e-10
+        )
+
+
+def test_single_column_agrees_with_vector_path(low, rng):
+    b = rng.normal(size=low.n_rows)
+    X = sptrsv_levelwise_multi(low, b[:, None])
+    np.testing.assert_allclose(X[:, 0], sptrsv_levelwise(low, b), rtol=1e-12)
+
+
+def test_accepts_precomputed_waves(low, rng):
+    waves = compute_wavefronts(dag_from_lower_triangular(low))
+    B = rng.normal(size=(low.n_rows, 3))
+    np.testing.assert_allclose(
+        sptrsv_levelwise_multi(low, B, waves),
+        sptrsv_levelwise_multi(low, B),
+        rtol=1e-12,
+    )
+
+
+def test_residuals_small(low, rng):
+    B = rng.normal(size=(low.n_rows, 4))
+    X = sptrsv_levelwise_multi(low, B)
+    dense = low.to_dense()
+    np.testing.assert_allclose(dense @ X, B, rtol=1e-9, atol=1e-10)
+
+
+def test_shape_validation(low):
+    with pytest.raises(ValueError):
+        sptrsv_levelwise_multi(low, np.ones(low.n_rows))  # 1-D rejected
+    with pytest.raises(ValueError):
+        sptrsv_levelwise_multi(low, np.ones((3, 2)))
+
+
+def test_wide_block(low, rng):
+    B = rng.normal(size=(low.n_rows, 32))
+    X = sptrsv_levelwise_multi(low, B)
+    assert X.shape == B.shape
+    np.testing.assert_allclose(low.to_dense() @ X, B, rtol=1e-9, atol=1e-10)

@@ -1,0 +1,82 @@
+"""Tests for the weighted critical path and the span-law bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DAG, dag_from_matrix_lower
+from repro.kernels import KERNELS
+from repro.metrics import span_speedup_bound, weighted_critical_path
+from repro.runtime import LAPTOP4, simulate
+from repro.schedulers import SCHEDULERS
+
+
+def test_chain_span_is_total():
+    g = DAG.from_edges(3, [0, 1], [1, 2])
+    w = np.array([1.0, 2.0, 3.0])
+    assert weighted_critical_path(g, w) == 6.0
+    assert span_speedup_bound(g, w) == 1.0
+
+
+def test_independent_vertices_span_is_max():
+    g = DAG.empty(4)
+    w = np.array([1.0, 5.0, 2.0, 2.0])
+    assert weighted_critical_path(g, w) == 5.0
+    assert span_speedup_bound(g, w) == 2.0
+
+
+def test_diamond_takes_heavier_branch(diamond_dag):
+    w = np.array([1.0, 10.0, 2.0, 1.0])
+    assert weighted_critical_path(diamond_dag, w) == 12.0
+
+
+def test_weights_validated(diamond_dag):
+    with pytest.raises(ValueError):
+        weighted_critical_path(diamond_dag, np.ones(2))
+
+
+def test_empty_graph():
+    assert weighted_critical_path(DAG.empty(0), np.zeros(0)) == 0.0
+
+
+@given(st.integers(2, 20), st.integers(0, 40), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_span_bounds_all_topological_levels(n, m, seed):
+    """Span >= the unweighted critical path times the min weight."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src < dst
+    g = DAG.from_edges(n, src[keep], dst[keep])
+    w = rng.uniform(0.5, 2.0, size=n)
+    span = weighted_critical_path(g, w)
+    from repro.graph import compute_wavefronts
+
+    levels = compute_wavefronts(g).n_levels
+    assert span >= levels * w.min() - 1e-9
+    assert span <= float(w.sum()) + 1e-9
+
+
+def test_simulated_compute_speedup_respects_span_law(mesh_nd):
+    """No schedule beats total/span on pure compute cycles.
+
+    The simulator's makespan includes memory and sync on top of compute,
+    so the *compute-only* speedup bound must hold with room to spare.
+    """
+    kernel = KERNELS["spilu0"]
+    g = kernel.dag(mesh_nd)
+    cost = kernel.cost(mesh_nd)
+    mem = kernel.memory_model(mesh_nd, g)
+    bound = span_speedup_bound(g, cost)
+    serial_compute = float(cost.sum()) * LAPTOP4.cycles_per_cost_unit
+    for algo in ("hdagg", "spmp", "wavefront"):
+        s = SCHEDULERS[algo](g, cost, LAPTOP4.n_cores)
+        r = simulate(s, g, cost, mem, LAPTOP4)
+        # makespan >= compute span (span law applied to the compute part)
+        compute_span = (
+            weighted_critical_path(g, cost) * LAPTOP4.cycles_per_cost_unit
+        )
+        assert r.makespan_cycles >= compute_span - 1e-6, algo
+        # and the compute-only speedup never exceeds the theoretical bound
+        assert serial_compute / r.makespan_cycles <= bound + 1e-9, algo

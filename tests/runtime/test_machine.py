@@ -1,0 +1,59 @@
+"""Tests for machine models."""
+
+import math
+
+import pytest
+
+from repro.runtime import AMD64, INTEL20, LAPTOP4, MACHINES, MachineConfig
+
+
+def test_presets_registered():
+    assert MACHINES["intel20"] is INTEL20
+    assert MACHINES["amd64"] is AMD64
+    assert MACHINES["laptop4"] is LAPTOP4
+
+
+def test_core_counts_match_paper():
+    assert INTEL20.n_cores == 20
+    assert AMD64.n_cores == 64
+
+
+def test_amd_has_bigger_cache_share():
+    # EPYC's 256MB LLC dwarfs the Xeon's 28MB even per-core
+    assert AMD64.cache_lines_per_core > INTEL20.cache_lines_per_core
+
+
+def test_barrier_cost_formula():
+    # p * log2(p) point-to-point syncs (Section V-A conversion)
+    expected = 20 * math.log2(20) * INTEL20.p2p_sync_cycles
+    assert INTEL20.barrier_cycles == pytest.approx(expected)
+
+
+def test_barrier_cost_single_core():
+    m = MachineConfig(name="one", n_cores=1, cache_lines_per_core=10)
+    assert m.barrier_cycles == pytest.approx(m.p2p_sync_cycles)
+
+
+def test_scaled_to_one_core_gets_whole_llc():
+    one = INTEL20.scaled(1)
+    assert one.n_cores == 1
+    assert one.cache_lines_per_core > INTEL20.cache_lines_per_core
+    # latency constants carried over
+    assert one.miss_cycles == INTEL20.miss_cycles
+
+
+def test_scaled_preserves_total_shared_capacity():
+    half = INTEL20.scaled(10)
+    assert half.cache_lines_per_core > INTEL20.cache_lines_per_core
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(name="bad", n_cores=0, cache_lines_per_core=1)
+    with pytest.raises(ValueError):
+        MachineConfig(name="bad", n_cores=1, cache_lines_per_core=0)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        INTEL20.n_cores = 4

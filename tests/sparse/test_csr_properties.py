@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the CSR container."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import csr_from_coo, csr_from_dense
+
+
+@st.composite
+def dense_matrices(draw, max_dim=8):
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    mat = draw(
+        arrays(
+            np.float64,
+            (n, m),
+            elements=st.floats(-10, 10, allow_nan=False).map(lambda x: 0.0 if abs(x) < 3 else x),
+        )
+    )
+    return mat
+
+
+@st.composite
+def coo_triplets(draw, max_dim=8, max_nnz=24):
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    k = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=k, max_size=k))
+    vals = draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=k, max_size=k))
+    return n, m, rows, cols, vals
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_dense_roundtrip(dense):
+    a = csr_from_dense(dense)
+    np.testing.assert_array_equal(a.to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(dense):
+    a = csr_from_dense(dense)
+    assert a.transpose().transpose() == a
+    np.testing.assert_array_equal(a.transpose().to_dense(), dense.T)
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_matvec_matches_dense(dense, seed):
+    a = csr_from_dense(dense)
+    x = np.random.default_rng(seed).normal(size=dense.shape[1])
+    np.testing.assert_allclose(a.matvec(x), dense @ x, rtol=1e-12, atol=1e-12)
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_coo_agrees_with_dense_accumulation(triplet):
+    n, m, rows, cols, vals = triplet
+    a = csr_from_coo(n, m, rows, cols, vals)
+    dense = np.zeros((n, m))
+    for r, c, v in zip(rows, cols, vals):
+        dense[r, c] += v
+    np.testing.assert_allclose(a.to_dense(), dense, rtol=1e-12, atol=1e-12)
+
+
+@given(coo_triplets())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants_always_hold(triplet):
+    n, m, rows, cols, vals = triplet
+    a = csr_from_coo(n, m, rows, cols, vals)
+    assert a.indptr[0] == 0
+    assert a.indptr[-1] == a.nnz == len(a.indices) == len(a.data)
+    assert np.all(np.diff(a.indptr) >= 0)
+    for i in range(n):
+        r = a.indices[a.indptr[i] : a.indptr[i + 1]]
+        assert np.all(np.diff(r) > 0)  # strictly increasing per row
+
+
+@given(dense_matrices(max_dim=6), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_symmetric_permutation_preserves_values(dense, seed):
+    n = min(dense.shape)
+    sym = dense[:n, :n] + dense[:n, :n].T
+    a = csr_from_dense(sym)
+    perm = np.random.default_rng(seed).permutation(n)
+    p = a.permute_symmetric(perm)
+    np.testing.assert_allclose(p.to_dense(), sym[np.ix_(perm, perm)])
+    assert p.nnz == a.nnz

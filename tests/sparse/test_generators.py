@@ -1,0 +1,148 @@
+"""Tests for the SPD matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    arrowhead_spd,
+    banded_spd,
+    bandwidth,
+    block_diagonal_spd,
+    is_numerically_symmetric,
+    kite_chain_spd,
+    ladder_spd,
+    poisson2d,
+    poisson3d,
+    power_law_spd,
+    random_spd,
+    spd_from_pattern,
+    tridiagonal_spd,
+)
+
+GENERATORS = [
+    ("poisson2d", lambda: poisson2d(7, seed=1)),
+    ("poisson2d-rect", lambda: poisson2d(9, 4, seed=1)),
+    ("poisson3d", lambda: poisson3d(4, seed=2)),
+    ("banded", lambda: banded_spd(40, 5, seed=3)),
+    ("banded-partial", lambda: banded_spd(40, 5, fill=0.5, seed=3)),
+    ("random", lambda: random_spd(60, 4.0, seed=4)),
+    ("tridiagonal", lambda: tridiagonal_spd(30, seed=5)),
+    ("blocks", lambda: block_diagonal_spd(5, 6, seed=6)),
+    ("arrowhead", lambda: arrowhead_spd(25, 2, seed=7)),
+    ("powerlaw", lambda: power_law_spd(50, 4.0, seed=8)),
+    ("ladder", lambda: ladder_spd(15, seed=9)),
+    ("kite", lambda: kite_chain_spd(4, 5, seed=10)),
+]
+
+
+@pytest.mark.parametrize("name,build", GENERATORS, ids=[g[0] for g in GENERATORS])
+def test_generator_is_spd(name, build):
+    a = build()
+    assert a.is_square
+    assert is_numerically_symmetric(a)
+    assert a.has_full_diagonal()
+    eig = np.linalg.eigvalsh(a.to_dense())
+    assert eig.min() > 0, f"{name}: smallest eigenvalue {eig.min()}"
+
+
+@pytest.mark.parametrize("name,build", GENERATORS, ids=[g[0] for g in GENERATORS])
+def test_generator_deterministic(name, build):
+    assert build() == build()
+
+
+def test_seed_changes_values_not_pattern():
+    a = poisson2d(6, seed=1)
+    b = poisson2d(6, seed=2)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    assert not np.array_equal(a.data, b.data)
+
+
+def test_poisson2d_structure():
+    a = poisson2d(4, 3)
+    assert a.n_rows == 12
+    # interior vertex has 4 neighbours + diagonal
+    assert int(a.row_nnz().max()) == 5
+    assert bandwidth(a) == 4  # nx
+
+
+def test_poisson3d_structure():
+    a = poisson3d(3)
+    assert a.n_rows == 27
+    assert int(a.row_nnz().max()) == 7  # 6 neighbours + diagonal
+
+
+def test_banded_is_banded():
+    a = banded_spd(50, 4, seed=0)
+    assert bandwidth(a) <= 4
+
+
+def test_banded_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        banded_spd(10, 0)
+    with pytest.raises(ValueError):
+        banded_spd(10, 10)
+
+
+def test_tridiagonal_is_tridiagonal():
+    a = tridiagonal_spd(20)
+    assert bandwidth(a) == 1
+    assert a.nnz == 3 * 20 - 2
+
+
+def test_block_diagonal_no_cross_edges():
+    a = block_diagonal_spd(4, 5, seed=1)
+    dense = a.to_dense()
+    for b in range(4):
+        lo, hi = b * 5, (b + 1) * 5
+        outside = dense[lo:hi, :].copy()
+        outside[:, lo:hi] = 0.0
+        assert np.all(outside == 0.0)
+
+
+def test_arrowhead_structure():
+    a = arrowhead_spd(12, 2, seed=1)
+    dense = a.to_dense()
+    assert np.count_nonzero(dense[-1]) == 12  # dense last row
+    body = dense[:10, :10]
+    assert np.count_nonzero(body - np.diag(np.diag(body))) == 0
+
+
+def test_arrowhead_rejects_too_many_heads():
+    with pytest.raises(ValueError):
+        arrowhead_spd(5, 5)
+
+
+def test_ladder_degree_bound():
+    a = ladder_spd(10, seed=1)
+    assert a.n_rows == 20
+    assert int(a.row_nnz().max()) <= 4  # two chain + one rung + diagonal
+
+
+def test_kite_chain_cliques():
+    a = kite_chain_spd(3, 4, seed=1)
+    dense = a.to_dense()
+    # each clique block fully dense
+    for k in range(3):
+        lo, hi = k * 4, (k + 1) * 4
+        assert np.all(dense[lo:hi, lo:hi] != 0.0)
+    # single bridge between consecutive cliques
+    assert np.count_nonzero(dense[4:8, 0:4]) == 1
+
+
+def test_spd_from_pattern_rejects_upper_entries():
+    with pytest.raises(ValueError, match="strictly lower"):
+        spd_from_pattern(3, np.array([0]), np.array([1]), seed=0)
+
+
+def test_spd_from_pattern_dominance():
+    a = spd_from_pattern(4, np.array([1, 2, 3]), np.array([0, 1, 2]), seed=0, dominance=2.0)
+    dense = a.to_dense()
+    for i in range(4):
+        off = np.abs(dense[i]).sum() - abs(dense[i, i])
+        assert dense[i, i] >= off + 2.0 - 1e-12
+
+
+def test_power_law_has_skewed_degrees():
+    a = power_law_spd(200, 5.0, exponent=2.1, seed=3)
+    deg = a.row_nnz()
+    assert deg.max() >= 4 * np.median(deg)

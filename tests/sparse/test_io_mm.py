@@ -1,0 +1,112 @@
+"""Tests for the Matrix Market reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    csr_from_dense,
+    dumps_matrix_market,
+    loads_matrix_market,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.5
+2 1 -1.0
+3 3 4.0
+2 2 1.5
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 3 3
+1 1
+1 3
+2 2
+"""
+
+
+def test_parse_general():
+    a = loads_matrix_market(GENERAL)
+    expected = np.array([[2.5, 0, 0], [-1.0, 1.5, 0], [0, 0, 4.0]])
+    np.testing.assert_array_equal(a.to_dense(), expected)
+
+
+def test_parse_symmetric_mirrors():
+    a = loads_matrix_market(SYMMETRIC)
+    expected = np.array([[2.0, -1.0, 0], [-1.0, 2.0, 0], [0, 0, 2.0]])
+    np.testing.assert_array_equal(a.to_dense(), expected)
+
+
+def test_parse_pattern_field():
+    a = loads_matrix_market(PATTERN)
+    np.testing.assert_array_equal(a.to_dense(), [[1, 0, 1], [0, 1, 0]])
+
+
+def test_roundtrip_general(rng):
+    dense = rng.random((5, 4))
+    dense[dense < 0.5] = 0.0
+    a = csr_from_dense(dense)
+    assert loads_matrix_market(dumps_matrix_market(a)) == a
+
+
+def test_roundtrip_symmetric(mesh):
+    text = dumps_matrix_market(mesh, symmetric=True)
+    assert "symmetric" in text.splitlines()[0]
+    assert loads_matrix_market(text) == mesh
+
+
+def test_symmetric_dump_checks_pattern():
+    a = csr_from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError, match="symmetric"):
+        dumps_matrix_market(a, symmetric=True)
+
+
+def test_file_roundtrip(tmp_path, mesh):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(mesh, path, symmetric=True)
+    assert read_matrix_market(path) == mesh
+
+
+@pytest.mark.parametrize(
+    "text,err",
+    [
+        ("", "empty"),
+        ("%%MatrixMarket matrix array real general\n1 1\n1.0\n", "coordinate"),
+        ("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", "field"),
+        ("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n", "symmetry"),
+        ("%%MatrixMarket vector coordinate real general\n1 1 1\n1 1 1\n", "object"),
+        ("bogus header\n1 1 1\n", "header"),
+        ("%%MatrixMarket matrix coordinate real general\n", "size"),
+        ("%%MatrixMarket matrix coordinate real general\n2 2\n", "size"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1.0\n", "declared"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n1 1 2.0\n", "more entries"),
+        ("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n", "bad entry"),
+    ],
+)
+def test_malformed_documents(text, err):
+    with pytest.raises(ValueError, match=err):
+        loads_matrix_market(text)
+
+
+def test_comments_and_blanks_inside_entries():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "% halfway comment\n"
+        "1 1 1.0\n"
+        "\n"
+        "2 2 2.0\n"
+    )
+    a = loads_matrix_market(text)
+    np.testing.assert_array_equal(a.to_dense(), [[1, 0], [0, 2]])

@@ -1,0 +1,86 @@
+"""Tests for RCM / nested dissection orderings."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    apply_ordering,
+    bandwidth,
+    natural,
+    nested_dissection,
+    random_permutation,
+    rcm,
+)
+
+
+def is_permutation(perm, n):
+    return perm.shape[0] == n and np.array_equal(np.sort(perm), np.arange(n))
+
+
+@pytest.mark.parametrize("method", ["rcm", "nd", "natural", "random"])
+def test_returns_valid_permutation(method, all_small_matrices):
+    for name, a in all_small_matrices.items():
+        _, perm = apply_ordering(a, method)
+        assert is_permutation(perm, a.n_rows), (method, name)
+
+
+def test_apply_ordering_preserves_spd(mesh):
+    ordered, _ = apply_ordering(mesh, "nd")
+    assert ordered.nnz == mesh.nnz
+    eig = np.linalg.eigvalsh(ordered.to_dense())
+    assert eig.min() > 0
+
+
+def test_rcm_reduces_bandwidth_of_shuffled_band(banded):
+    shuffled = banded.permute_symmetric(
+        np.random.default_rng(1).permutation(banded.n_rows)
+    )
+    ordered, _ = apply_ordering(shuffled, "rcm")
+    assert bandwidth(ordered) < bandwidth(shuffled)
+
+
+def test_rcm_deterministic(mesh):
+    np.testing.assert_array_equal(rcm(mesh), rcm(mesh))
+
+
+def test_nd_deterministic(mesh):
+    np.testing.assert_array_equal(nested_dissection(mesh), nested_dissection(mesh))
+
+
+def test_nd_separators_last_within_subproblem(mesh):
+    """After ND the lower-triangular DAG becomes shallower (more parallel)
+    than natural order for mesh problems."""
+    from repro.graph import dag_from_matrix_lower
+    from repro.metrics import average_parallelism
+
+    natural_ap = average_parallelism(dag_from_matrix_lower(mesh))
+    nd_mat, _ = apply_ordering(mesh, "nd")
+    nd_ap = average_parallelism(dag_from_matrix_lower(nd_mat))
+    assert nd_ap >= natural_ap
+
+
+def test_nd_handles_disconnected(blocks):
+    perm = nested_dissection(blocks)
+    assert is_permutation(perm, blocks.n_rows)
+
+
+def test_natural_is_identity(mesh):
+    np.testing.assert_array_equal(natural(mesh), np.arange(mesh.n_rows))
+
+
+def test_random_permutation_seeded(mesh):
+    p1 = random_permutation(mesh, seed=4)
+    p2 = random_permutation(mesh, seed=4)
+    p3 = random_permutation(mesh, seed=5)
+    np.testing.assert_array_equal(p1, p2)
+    assert not np.array_equal(p1, p3)
+
+
+def test_unknown_method_rejected(mesh):
+    with pytest.raises(ValueError, match="unknown ordering"):
+        apply_ordering(mesh, "metis")
+
+
+def test_rcm_covers_multiple_components(blocks):
+    perm = rcm(blocks)
+    assert is_permutation(perm, blocks.n_rows)

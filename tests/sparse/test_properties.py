@@ -1,0 +1,71 @@
+"""Tests for structural matrix properties."""
+
+import numpy as np
+
+from repro.sparse import (
+    bandwidth,
+    csr_from_dense,
+    density,
+    diagonal_dominance_ratio,
+    is_numerically_symmetric,
+    is_structurally_symmetric,
+    profile,
+    summarize,
+)
+
+
+def test_structural_symmetry():
+    sym = csr_from_dense(np.array([[1.0, 2], [3, 4]]))
+    assert is_structurally_symmetric(sym)
+    asym = csr_from_dense(np.array([[1.0, 2], [0, 4]]))
+    assert not is_structurally_symmetric(asym)
+
+
+def test_structural_symmetry_requires_square():
+    assert not is_structurally_symmetric(csr_from_dense(np.ones((2, 3))))
+
+
+def test_numerical_symmetry():
+    assert is_numerically_symmetric(csr_from_dense(np.array([[1.0, 2], [2, 4]])))
+    assert not is_numerically_symmetric(csr_from_dense(np.array([[1.0, 2], [3, 4]])))
+
+
+def test_numerical_symmetry_tolerance():
+    a = csr_from_dense(np.array([[1.0, 2.0], [2.0 + 1e-15, 4.0]]))
+    assert is_numerically_symmetric(a)
+
+
+def test_bandwidth():
+    assert bandwidth(csr_from_dense(np.eye(3))) == 0
+    assert bandwidth(csr_from_dense(np.array([[1.0, 0, 1], [0, 1, 0], [0, 0, 1]]))) == 2
+
+
+def test_bandwidth_empty():
+    assert bandwidth(csr_from_dense(np.zeros((3, 3)))) == 0
+
+
+def test_profile():
+    a = csr_from_dense(np.array([[1.0, 0, 0], [1, 1, 0], [1, 0, 1]]))
+    assert profile(a) == 1 + 2
+
+
+def test_density():
+    assert density(csr_from_dense(np.eye(4))) == 4 / 16
+    assert density(csr_from_dense(np.zeros((0, 5)))) == 0.0
+
+
+def test_diagonal_dominance(mesh):
+    # generators build strictly dominant matrices
+    assert diagonal_dominance_ratio(mesh) == 1.0
+    weak = csr_from_dense(np.array([[1.0, 5.0], [5.0, 1.0]]))
+    assert diagonal_dominance_ratio(weak) == 0.0
+
+
+def test_summarize(mesh):
+    s = summarize(mesh)
+    assert s.n == mesh.n_rows
+    assert s.nnz == mesh.nnz
+    assert s.structurally_symmetric
+    assert s.max_nnz_per_row == int(mesh.row_nnz().max())
+    assert 0 < s.density < 1
+    assert "nnz" in str(s)

@@ -1,0 +1,89 @@
+"""Tests for supernode detection on the symbolic factor."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    apply_ordering,
+    csr_from_dense,
+    supernodes,
+    symbolic_cholesky,
+    tridiagonal_spd,
+)
+
+
+def column_structures(a):
+    """Strictly-below-diagonal row sets per column of the symbolic factor."""
+    l = symbolic_cholesky(a).transpose()  # factor columns as rows
+    out = []
+    for j in range(a.n_rows):
+        rows, _ = l.row(j)
+        out.append(set(int(r) for r in rows if r > j))
+    return out
+
+
+def test_labels_are_run_starts(mesh):
+    labels = supernodes(mesh)
+    assert labels[0] == 0
+    # labels are non-decreasing and equal the first column of their run
+    for j in range(1, mesh.n_rows):
+        assert labels[j] in (labels[j - 1], j)
+
+
+def test_supernode_columns_nest(mesh_nd):
+    """Within a supernode, each column's below-structure equals the next
+    column's structure plus that next column (the defining property)."""
+    labels = supernodes(mesh_nd)
+    structs = column_structures(mesh_nd)
+    for j in range(1, mesh_nd.n_rows):
+        if labels[j] == labels[j - 1]:
+            assert structs[j - 1] == structs[j] | {j}
+
+
+def test_dense_matrix_single_supernode(rng):
+    dense = rng.random((8, 8))
+    spd = dense @ dense.T + 8 * np.eye(8)
+    labels = supernodes(csr_from_dense(spd))
+    assert len(set(labels.tolist())) == 1
+
+
+def test_tridiagonal_merges_only_last_pair():
+    """Tridiagonal columns do not nest (struct(j) = {j+1} != {j+1, j+2});
+    only the final pair satisfies the supernode rule."""
+    a = tridiagonal_spd(12, seed=1)
+    labels = supernodes(a)
+    assert len(set(labels.tolist())) == 11
+    assert labels[-1] == labels[-2]
+
+
+def test_diagonal_matrix_all_singletons():
+    a = csr_from_dense(np.diag([2.0, 3.0, 4.0]))
+    labels = supernodes(a)
+    assert labels.tolist() == [0, 1, 2]
+
+
+def test_mesh_has_nontrivial_supernodes(mesh_nd):
+    labels = supernodes(mesh_nd)
+    n_super = len(set(labels.tolist()))
+    assert n_super < mesh_nd.n_rows  # some amalgamation
+    assert n_super > 1
+
+
+def test_supernodal_grouping_feeds_hdagg(mesh_nd):
+    """Supernode labels work as a pre-grouping for the scheduling stack."""
+    from repro.core import hdagg
+    from repro.graph import (
+        coarsen_dag,
+        dag_from_lower_triangular,
+        grouping_from_labels,
+        is_acyclic,
+    )
+
+    pattern = symbolic_cholesky(mesh_nd)
+    g = dag_from_lower_triangular(pattern)
+    grouping = grouping_from_labels(supernodes(mesh_nd))
+    grouping.validate()
+    quotient = coarsen_dag(g, grouping)
+    assert is_acyclic(quotient)  # supernodes are convex in the factor DAG
+    s = hdagg(quotient, grouping.group_costs(np.ones(g.n)), 4)
+    s.validate(quotient)

@@ -1,0 +1,83 @@
+"""Tests for triangular extraction."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    csr_from_dense,
+    is_lower_triangular,
+    is_upper_triangular,
+    lower_triangle,
+    strict_lower_triangle,
+    strict_upper_triangle,
+    unit_diagonal_lower,
+    upper_triangle,
+)
+
+
+@pytest.fixture
+def a(rng):
+    dense = rng.random((6, 6))
+    dense[dense < 0.4] = 0.0
+    np.fill_diagonal(dense, 1.0)
+    return csr_from_dense(dense)
+
+
+def test_lower_triangle(a):
+    np.testing.assert_array_equal(lower_triangle(a).to_dense(), np.tril(a.to_dense()))
+
+
+def test_upper_triangle(a):
+    np.testing.assert_array_equal(upper_triangle(a).to_dense(), np.triu(a.to_dense()))
+
+
+def test_strict_variants(a):
+    np.testing.assert_array_equal(
+        strict_lower_triangle(a).to_dense(), np.tril(a.to_dense(), -1)
+    )
+    np.testing.assert_array_equal(
+        strict_upper_triangle(a).to_dense(), np.triu(a.to_dense(), 1)
+    )
+
+
+def test_lower_plus_strict_upper_reassembles(a):
+    low = lower_triangle(a).to_dense()
+    up = strict_upper_triangle(a).to_dense()
+    np.testing.assert_array_equal(low + up, a.to_dense())
+
+
+def test_predicates(a):
+    assert is_lower_triangular(lower_triangle(a))
+    assert is_upper_triangular(upper_triangle(a))
+    assert not is_lower_triangular(a)
+    assert not is_upper_triangular(a)
+
+
+def test_predicates_diagonal_only():
+    d = csr_from_dense(np.diag([1.0, 2.0]))
+    assert is_lower_triangular(d)
+    assert is_upper_triangular(d)
+
+
+def test_unit_diagonal_lower(a):
+    u = unit_diagonal_lower(a)
+    np.testing.assert_array_equal(u.diagonal(), np.ones(6))
+    # off-diagonal values unchanged
+    np.testing.assert_array_equal(
+        np.tril(u.to_dense(), -1), np.tril(a.to_dense(), -1)
+    )
+
+
+def test_unit_diagonal_requires_diagonal():
+    a = csr_from_dense(np.array([[0.0, 0], [1, 1]]))
+    with pytest.raises(ValueError, match="diagonal"):
+        unit_diagonal_lower(a)
+
+
+def test_triangles_of_spd_suite(all_small_matrices):
+    for name, a in all_small_matrices.items():
+        low = lower_triangle(a)
+        assert is_lower_triangular(low), name
+        assert low.has_full_diagonal(), name
+        # pattern symmetry: lower nnz == upper nnz
+        assert low.nnz == upper_triangle(a).nnz, name

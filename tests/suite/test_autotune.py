@@ -1,0 +1,69 @@
+"""Tests for NRE-driven scheduler auto-selection."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KERNELS
+from repro.runtime import LAPTOP4
+from repro.sparse import apply_ordering, lower_triangle, poisson2d
+from repro.suite import DEFAULT_CANDIDATES, choose_scheduler
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a, _ = apply_ordering(poisson2d(24, seed=1), "nd")
+    kernel = KERNELS["sptrsv"]
+    low = lower_triangle(a)
+    g = kernel.dag(low)
+    return g, kernel.cost(low), kernel.memory_model(low, g)
+
+
+def test_single_execution_prefers_serial(problem):
+    g, cost, mem = problem
+    choice = choose_scheduler(g, cost, mem, LAPTOP4, 1)
+    assert choice.algorithm == "serial"
+    assert not choice.amortised
+    assert choice.inspector_cycles == 0.0
+
+
+def test_many_executions_prefer_an_inspector(problem):
+    g, cost, mem = problem
+    choice = choose_scheduler(g, cost, mem, LAPTOP4, 100_000)
+    assert choice.algorithm != "serial"
+    assert choice.amortised
+
+
+def test_monotone_total_in_executions(problem):
+    g, cost, mem = problem
+    totals = [
+        choose_scheduler(g, cost, mem, LAPTOP4, n).total_cycles
+        for n in (1, 10, 100, 1000)
+    ]
+    assert totals == sorted(totals)
+
+
+def test_breakdown_covers_candidates(problem):
+    g, cost, mem = problem
+    choice = choose_scheduler(g, cost, mem, LAPTOP4, 50)
+    assert set(choice.breakdown) == set(DEFAULT_CANDIDATES)
+    assert choice.total_cycles == min(choice.breakdown.values())
+
+
+def test_custom_candidates(problem):
+    g, cost, mem = problem
+    choice = choose_scheduler(
+        g, cost, mem, LAPTOP4, 1000, candidates=("serial", "hdagg")
+    )
+    assert choice.algorithm in ("serial", "hdagg")
+
+
+def test_validation(problem):
+    g, cost, mem = problem
+    with pytest.raises(ValueError):
+        choose_scheduler(g, cost, mem, LAPTOP4, 0)
+
+
+def test_schedule_is_usable(problem):
+    g, cost, mem = problem
+    choice = choose_scheduler(g, cost, mem, LAPTOP4, 1000)
+    choice.schedule.validate(g)

@@ -1,0 +1,67 @@
+"""Extended harness tests: extra kernels, orderings, multi-machine grids."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import LAPTOP4, MachineConfig
+from repro.suite import Harness, suite_by_name, table1_speedups
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return suite_by_name()["mesh2d-s"]
+
+
+def test_extension_kernels_run_through_harness(spec):
+    """gauss_seidel and spchol plug into the same grid as the paper's trio."""
+    h = Harness(machines=(LAPTOP4,), kernels=("gauss_seidel",),
+                algorithms=("hdagg", "wavefront"))
+    records = h.run_matrix(spec)
+    assert {r.kernel for r in records} == {"gauss_seidel"}
+    for r in records:
+        assert r.speedup > 0
+        assert np.isfinite(r.avg_memory_access_latency)
+
+
+def test_spchol_through_harness():
+    # chol on a smaller mesh (fill makes it heavy)
+    spec = suite_by_name()["mesh2d-s"]
+    h = Harness(machines=(LAPTOP4,), kernels=("spchol",), algorithms=("hdagg", "lbc"))
+    records = h.run_matrix(spec)
+    assert len(records) == 2
+    # the DAG the harness reports is the *filled* one
+    assert all(r.n == 2304 for r in records)
+
+
+def test_ordering_option_changes_results(spec):
+    h_nd = Harness(machines=(LAPTOP4,), kernels=("sptrsv",), algorithms=("hdagg",))
+    h_nat = Harness(machines=(LAPTOP4,), kernels=("sptrsv",), algorithms=("hdagg",),
+                    ordering="natural")
+    r_nd = h_nd.run_matrix(spec)[0]
+    r_nat = h_nat.run_matrix(spec)[0]
+    assert r_nd.n_wavefronts != r_nat.n_wavefronts
+
+
+def test_epsilon_option_propagates(spec):
+    tight = Harness(machines=(LAPTOP4,), kernels=("spilu0",), algorithms=("hdagg",),
+                    epsilon=0.01).run_matrix(spec)[0]
+    loose = Harness(machines=(LAPTOP4,), kernels=("spilu0",), algorithms=("hdagg",),
+                    epsilon=0.95).run_matrix(spec)[0]
+    assert loose.schedule_levels <= tight.schedule_levels
+
+
+def test_multi_machine_grid(spec):
+    tiny = MachineConfig(name="tiny2", n_cores=2, cache_lines_per_core=64)
+    h = Harness(machines=(LAPTOP4, tiny), kernels=("sptrsv",), algorithms=("hdagg",))
+    records = h.run_matrix(spec)
+    assert {r.machine for r in records} == {"laptop4", "tiny2"}
+    headers, rows, data = table1_speedups(records)
+    # one column block per machine (no baselines -> zero rows, but headers split)
+    assert any("laptop4" in h for h in headers)
+    assert any("tiny2" in h for h in headers)
+
+
+def test_validate_flag_can_be_disabled(spec):
+    h = Harness(machines=(LAPTOP4,), kernels=("sptrsv",), algorithms=("hdagg",),
+                validate=False)
+    assert h.run_matrix(spec)[0].speedup > 0

@@ -1,0 +1,57 @@
+"""Tests for the record A/B diff tool."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime import LAPTOP4
+from repro.suite import Harness, suite_by_name
+from repro.suite.regression import RecordDelta, diff_records, regression_report
+
+
+@pytest.fixture(scope="module")
+def records():
+    h = Harness(machines=(LAPTOP4,), kernels=("sptrsv",), algorithms=("hdagg", "wavefront"))
+    return h.run_matrix(suite_by_name()["mesh2d-s"])
+
+
+def test_identical_runs_have_unit_ratios(records):
+    deltas, gone, added = diff_records(records, records)
+    assert not gone and not added
+    assert len(deltas) == len(records)
+    assert all(d.ratio == pytest.approx(1.0) for d in deltas)
+    assert not any(d.regressed for d in deltas)
+
+
+def test_detects_regression(records):
+    slowed = [
+        dataclasses.replace(r, speedup=r.speedup * (0.5 if r.algorithm == "hdagg" else 1.0))
+        for r in records
+    ]
+    deltas, _, _ = diff_records(records, slowed)
+    regressed = [d for d in deltas if d.regressed]
+    assert len(regressed) == sum(1 for r in records if r.algorithm == "hdagg")
+    report = regression_report(records, slowed)
+    assert "regression(s)" in report
+    assert "hdagg" in report
+
+
+def test_detects_added_and_removed_cells(records):
+    deltas, gone, added = diff_records(records[:-1], records[1:])
+    assert len(gone) == 1 and len(added) == 1
+    report = regression_report(records[:-1], records[1:])
+    assert "only in OLD" in report and "only in NEW" in report
+
+
+def test_clean_report(records):
+    report = regression_report(records, records)
+    assert "no regressions" in report
+    assert "mean ratio 1.000" in report
+
+
+def test_delta_properties():
+    d = RecordDelta(key=("m", "k", "a", "x"), old_speedup=2.0, new_speedup=1.0)
+    assert d.ratio == 0.5
+    assert d.regressed
+    z = RecordDelta(key=("m", "k", "a", "x"), old_speedup=0.0, new_speedup=1.0)
+    assert z.ratio == float("inf")

@@ -1,0 +1,91 @@
+"""Tests for the reporting helpers."""
+
+import json
+import math
+
+import pytest
+
+from repro.suite.reporting import dump_json, fmt, format_kv, format_table, geomean
+
+
+class TestFmt:
+    def test_floats_rounded(self):
+        assert fmt(1.23456) == "1.23"
+        assert fmt(1.23456, digits=3) == "1.235"
+
+    def test_large_floats_compact(self):
+        assert fmt(1234567.0) == "1.23e+06"
+
+    def test_nonfinite(self):
+        assert fmt(float("inf")) == "inf"
+        assert fmt(float("nan")) == "-"
+
+    def test_bool(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+
+    def test_other_types(self):
+        assert fmt("text") == "text"
+        assert fmt(7) == "7"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "val"], [["a", 1.0], ["long-name", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # numeric column right-aligned: both rows end at the same offset
+        assert lines[2].rstrip().endswith("1.00")
+        assert lines[3].rstrip().endswith("22.50")
+
+    def test_title_underlined(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFormatKv:
+    def test_basic(self):
+        out = format_kv({"alpha": 1.5, "b": "x"}, title="vals")
+        assert out.splitlines()[0] == "vals"
+        assert "alpha : 1.50" in out
+        assert "b     : x" in out
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+
+
+class TestDumpJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.json"
+        dump_json({"a": [1, 2], "b": 1.5}, str(path))
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": 1.5}
+
+    def test_nonfinite_survives(self, tmp_path):
+        # python-json extension: Infinity literal round-trips through loads
+        path = tmp_path / "x.json"
+        dump_json({"v": float("inf")}, str(path))
+        assert json.loads(path.read_text())["v"] == float("inf")
+
+    def test_numpy_arrays(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "x.json"
+        dump_json({"v": np.arange(3)}, str(path))
+        assert json.loads(path.read_text())["v"] == [0, 1, 2]
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_skips_nonfinite_and_nonpositive(self):
+        assert geomean([4.0, float("inf"), 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for record storage, dataset report, and CLI load/save paths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import LAPTOP4
+from repro.suite import (
+    Harness,
+    dataset_report,
+    dataset_rows,
+    load_records,
+    records_from_json,
+    records_to_json,
+    save_records,
+    suite_by_name,
+    table1_speedups,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    h = Harness(machines=(LAPTOP4,), kernels=("sptrsv",))
+    return h.run_suite([suite_by_name()["mesh2d-s"]])
+
+
+class TestStorage:
+    def test_roundtrip(self, records):
+        back = records_from_json(records_to_json(records))
+        assert len(back) == len(records)
+        for a, b in zip(records, back):
+            assert a.__dict__ == b.__dict__
+
+    def test_nonfinite_floats_survive(self, records):
+        import dataclasses
+
+        r = dataclasses.replace(records[0], nre=float("inf"), speedup=float("nan"))
+        back = records_from_json(records_to_json([r]))[0]
+        assert back.nre == float("inf")
+        assert np.isnan(back.speedup)
+
+    def test_file_roundtrip(self, records, tmp_path):
+        path = tmp_path / "r.json"
+        save_records(records, path)
+        back = load_records(path)
+        # loaded records feed the tables unchanged
+        h1, rows1, _ = table1_speedups(records)
+        h2, rows2, _ = table1_speedups(back)
+        assert rows1 == rows2
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            records_from_json(json.dumps({"version": 99, "records": []}))
+
+    def test_field_mismatch_detected(self, records):
+        doc = json.loads(records_to_json(records))
+        del doc["records"][0]["speedup"]
+        with pytest.raises(ValueError, match="mismatch"):
+            records_from_json(json.dumps(doc))
+
+
+class TestDatasetReport:
+    def test_rows_shape(self):
+        specs = [suite_by_name()["mesh2d-s"], suite_by_name()["kite-small"]]
+        rows = dataset_rows(specs)
+        assert len(rows) == 2
+        name, family, n, nnz, waves, ap, npw, bucket = rows[0]
+        assert name == "mesh2d-s"
+        assert family == "mesh2d"
+        assert n == 2304
+        assert waves > 0 and ap > 0
+        assert bucket in ("large", "small/high-AP", "small/low-AP")
+
+    def test_report_text(self):
+        text = dataset_report([suite_by_name()["mesh2d-s"]])
+        assert "Evaluation dataset" in text
+        assert "mesh2d-s" in text
+
+
+class TestCLIRoundtrip:
+    def test_save_then_load(self, tmp_path, capsys):
+        from repro.suite.cli import main
+
+        path = tmp_path / "recs.json"
+        rc = main(["--experiment", "fig7", "--kernels", "sptrsv",
+                   "--machines", "laptop4", "--matrices", "mesh2d-s",
+                   "--save-records", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["--experiment", "fig7", "--load-records", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mesh2d-s" in out
+
+    def test_dataset_experiment(self, capsys):
+        from repro.suite.cli import main
+
+        rc = main(["--experiment", "dataset", "--matrices", "mesh2d-s"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bucket" in out
+
+
+class TestCLIScaling:
+    def test_scaling_experiment(self, capsys):
+        from repro.suite.cli import main
+
+        rc = main(["--experiment", "scaling", "--matrices", "mesh2d-s",
+                   "--kernels", "spilu0", "--machines", "laptop4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Strong scaling" in out
+        assert "efficiency" in out

@@ -1,0 +1,195 @@
+"""Tests for the dataset, harness, and table/figure regeneration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import LAPTOP4
+from repro.suite import (
+    SUITE,
+    Harness,
+    MatrixSpec,
+    fig4_pgp_vs_pg,
+    fig5_per_matrix_speedups,
+    fig6_performance_metrics,
+    fig7_imbalance_ratio,
+    fig8_speedup_vs_locality,
+    fig9_nre,
+    format_kv,
+    format_table,
+    geomean,
+    small_suite,
+    suite_by_name,
+    table1_speedups,
+    table2_metric_improvements,
+    table3_categories,
+)
+from repro.suite.matrices import FAMILIES
+
+
+class TestDataset:
+    def test_34_matrices(self):
+        assert len(SUITE) == 34
+
+    def test_unique_names(self):
+        names = [s.name for s in SUITE]
+        assert len(set(names)) == 34
+
+    def test_all_families_covered(self):
+        present = {s.family for s in SUITE}
+        assert present == set(FAMILIES)
+
+    def test_by_name(self):
+        assert suite_by_name()["mesh2d-s"].family == "mesh2d"
+
+    def test_small_suite_one_per_family(self):
+        specs = small_suite()
+        fams = [s.family for s in specs]
+        assert len(fams) == len(set(fams))
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(name="x", family="nope", build=lambda: None)
+
+
+@pytest.fixture(scope="module")
+def records():
+    """One small matrix through the full grid on the 4-core test machine."""
+    h = Harness(machines=(LAPTOP4,), kernels=("sptrsv", "spilu0"))
+    spec = suite_by_name()["mesh2d-s"]
+    return h.run_suite([spec])
+
+
+class TestHarness:
+    def test_record_grid(self, records):
+        algos = {r.algorithm for r in records}
+        assert algos == {"hdagg", "spmp", "wavefront", "lbc", "dagp", "mkl"}
+        # mkl only for sptrsv
+        assert not [r for r in records if r.algorithm == "mkl" and r.kernel != "sptrsv"]
+        assert len(records) == 6 + 5
+
+    def test_record_fields_sane(self, records):
+        for r in records:
+            assert r.speedup > 0
+            assert r.makespan_cycles > 0
+            assert 0 <= r.potential_gain < 1
+            assert 0 <= r.imbalance_ratio <= 1
+            assert r.avg_memory_access_latency > 0
+            assert r.inspector_cycles >= 0
+            assert r.n == 2304
+
+    def test_hdagg_beats_serial(self, records):
+        for r in records:
+            if r.algorithm == "hdagg":
+                assert r.speedup > 1.0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            Harness(kernels=("magic",))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            Harness(algorithms=("magic",))
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError):
+            Harness(machines=("cray",))
+
+
+class TestTables:
+    def test_table1(self, records):
+        headers, rows, data = table1_speedups(records)
+        assert headers[0] == "HDagg vs"
+        assert {row[0] for row in rows} == {"spmp", "wavefront", "lbc", "dagp", "mkl"}
+        out = format_table(headers, rows)
+        assert "HDagg vs" in out
+
+    def test_table2(self, records):
+        headers, rows, data = table2_metric_improvements(
+            records, kernel="spilu0", machine="laptop4"
+        )
+        assert [row[0] for row in rows] == ["locality", "load balance", "synchronization"]
+        for key, val in data.items():
+            assert val > 0
+
+    def test_table3(self, records):
+        headers, rows, data = table3_categories(records, kernel="spilu0", machine="laptop4")
+        assert len(rows) == 3
+        total = sum(row[1] for row in rows)
+        assert total == 1  # one matrix
+
+    def test_format_helpers(self):
+        assert "inf" in format_table(["a"], [[float("inf")]])
+        assert "yes" in format_table(["a"], [[True]])
+        assert "k : 1" in format_kv({"k": 1}).replace("  ", " ")
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+
+class TestFigures:
+    def test_fig4(self, records):
+        headers, rows, data = fig4_pgp_vs_pg(records, kernel="sptrsv", machine="laptop4")
+        assert len(rows) == 6
+        assert not math.isnan(data["r_squared"])
+
+    def test_fig5(self, records):
+        per_kernel = fig5_per_matrix_speedups(records, machine="laptop4")
+        assert set(per_kernel) == {"sptrsv", "spilu0"}
+        headers, rows, data = per_kernel["spilu0"]
+        assert rows[0][0] == "mesh2d-s"
+        assert len(rows[0]) == 5  # 4 baselines + name
+
+    def test_fig6(self, records):
+        headers, rows, data = fig6_performance_metrics(records, machine="laptop4")
+        assert len(rows) == 5  # spilu0 algorithms
+        for row in rows:
+            assert row[2] > 0
+
+    def test_fig7(self, records):
+        headers, rows, data = fig7_imbalance_ratio(records, machine="laptop4")
+        assert headers[1:] == sorted(data.keys())
+        for algo, vals in data.items():
+            for v in vals.values():
+                assert 0 <= v <= 1
+
+    def test_fig8(self, records):
+        headers, rows, data = fig8_speedup_vs_locality(records, machine="laptop4")
+        assert len(rows) >= 1
+
+    def test_fig9(self, records):
+        headers, rows, data = fig9_nre(records, machine="laptop4")
+        assert len(rows) == 1
+        assert "hdagg" in data["sptrsv"]
+        assert "spilu0" in data
+
+
+class TestCLI:
+    def test_quick_run(self, capsys):
+        from repro.suite.cli import main
+
+        rc = main(["--quick", "--experiment", "table1", "--kernels", "sptrsv",
+                   "--machines", "laptop4", "--matrices", "mesh2d-s"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table I" in out
+
+    def test_list(self, capsys):
+        from repro.suite.cli import main
+
+        assert main(["--list"]) == 0
+        assert "mesh2d-s" in capsys.readouterr().out
+
+    def test_json_dump(self, tmp_path, capsys):
+        from repro.suite.cli import main
+
+        out = tmp_path / "r.json"
+        rc = main(["--experiment", "fig7", "--kernels", "spilu0",
+                   "--machines", "laptop4", "--matrices", "mesh2d-s",
+                   "--json", str(out)])
+        assert rc == 0
+        import json
+
+        blob = json.loads(out.read_text())
+        assert blob["status"]["fig7"] == "ok"
+        assert len(blob["records"]) == 5

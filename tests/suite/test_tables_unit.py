@@ -1,0 +1,121 @@
+"""Unit tests for tables/figures over hand-built records (no harness runs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.suite import (
+    HIGH_PARALLELISM_THRESHOLD,
+    LARGE_NNZ_THRESHOLD,
+    RunRecord,
+    fig4_pgp_vs_pg,
+    fig5_per_matrix_speedups,
+    fig8_speedup_vs_locality,
+    fig9_nre,
+    index_records,
+    table1_speedups,
+    table2_metric_improvements,
+    table3_categories,
+)
+
+
+def make_record(**kw):
+    base = dict(
+        matrix="m1", family="mesh2d", kernel="spilu0", algorithm="hdagg",
+        machine="intel20", n=100, nnz=500, n_wavefronts=10,
+        average_parallelism=10.0, nnz_per_wavefront=50.0, speedup=4.0,
+        makespan_cycles=250.0, serial_cycles=1000.0,
+        avg_memory_access_latency=50.0, hit_rate=0.5, potential_gain=0.1,
+        pgp=0.12, equivalent_syncs=100.0, n_barriers=5, n_p2p_syncs=0,
+        imbalance_ratio=0.2, inspector_cycles=1000.0, nre=4.0,
+        schedule_levels=5, schedule_partitions=20, fine_grained=False,
+        inspector_seconds=0.01,
+    )
+    base.update(kw)
+    return RunRecord(**base)
+
+
+@pytest.fixture
+def pair():
+    """One matrix, hdagg at 4x and wavefront at 2x."""
+    return [
+        make_record(algorithm="hdagg", speedup=4.0, avg_memory_access_latency=40.0,
+                    potential_gain=0.1, equivalent_syncs=50.0),
+        make_record(algorithm="wavefront", speedup=2.0, avg_memory_access_latency=80.0,
+                    potential_gain=0.05, equivalent_syncs=200.0),
+    ]
+
+
+def test_table1_ratio(pair):
+    _, rows, data = table1_speedups(pair)
+    assert rows == [["wavefront", 2.0]]
+    assert data["wavefront|spilu0|intel20"]["mean"] == 2.0
+
+
+def test_table1_missing_hdagg_gives_nan():
+    _, rows, data = table1_speedups([make_record(algorithm="wavefront")])
+    assert math.isnan(rows[0][1])
+
+
+def test_table2_directions(pair):
+    _, _, data = table2_metric_improvements(pair)
+    assert data["locality|wavefront"] == pytest.approx(2.0)
+    assert data["load balance|wavefront"] == pytest.approx(0.5, rel=1e-6)
+    assert data["synchronization|wavefront"] == pytest.approx(201 / 51)
+
+
+def test_table3_bucketing():
+    recs = []
+    for nm, nnz, ap in (
+        ("big", LARGE_NNZ_THRESHOLD + 1, 10.0),
+        ("wide", 100, HIGH_PARALLELISM_THRESHOLD + 1),
+        ("small", 100, 1.0),
+    ):
+        for algo, sp in (("hdagg", 3.0), ("spmp", 2.0), ("wavefront", 1.0)):
+            recs.append(make_record(matrix=nm, nnz=int(nnz),
+                                    average_parallelism=ap, algorithm=algo, speedup=sp))
+    _, rows, data = table3_categories(recs)
+    counts = [row[1] for row in rows]
+    assert counts == [1, 1, 1]
+    for row in rows:
+        assert row[-1] == pytest.approx(1.5)  # hdagg vs best(spmp, wavefront)
+
+
+def test_fig4_requires_variance():
+    # constant PGP -> no fit
+    recs = [make_record(kernel="sptrsv", algorithm=a, pgp=0.2, potential_gain=0.2)
+            for a in ("hdagg", "spmp")]
+    _, rows, data = fig4_pgp_vs_pg(recs)
+    assert len(rows) == 2
+    assert math.isnan(data["r_squared"])
+
+
+def test_fig5_per_matrix(pair):
+    per_kernel = fig5_per_matrix_speedups(pair)
+    _, rows, data = per_kernel["spilu0"]
+    assert rows == [["m1", 2.0]]
+    assert data["wavefront"]["m1"] == 2.0
+
+
+def test_fig8_category_filter(pair):
+    # nnz small + AP low -> excluded from the fig8 cloud
+    low = [make_record(algorithm=a, nnz=10, average_parallelism=1.0) for a in ("hdagg", "spmp")]
+    _, rows, _ = fig8_speedup_vs_locality(low)
+    assert rows == []
+
+
+def test_fig9_shapes(pair):
+    recs = [make_record(kernel="sptrsv", algorithm=a, nre=v)
+            for a, v in (("hdagg", 16.0), ("wavefront", 9.0), ("spmp", 21.0),
+                         ("lbc", 24.0), ("dagp", 5000.0))]
+    headers, rows, data = fig9_nre(recs)
+    assert data["sptrsv"]["hdagg"] == 16.0
+    assert data["sptrsv"]["dagp"] == 5000.0
+    assert len(rows) == 1
+
+
+def test_index_records_unique_keys(pair):
+    idx = index_records(pair)
+    assert len(idx) == 2
+    assert ("m1", "spilu0", "hdagg", "intel20") in idx

@@ -1,0 +1,112 @@
+"""Metamorphic tests: transformations with predictable consequences.
+
+Instead of asserting absolute values, these assert how known input
+transformations must move the outputs — a strong net for subtle
+inspector/simulator bugs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import accumulated_pgp, hdagg
+from repro.graph import DAG, dag_from_matrix_lower
+from repro.kernels import KERNELS
+from repro.metrics import weighted_critical_path
+from repro.runtime import LAPTOP4, simulate
+from repro.schedulers import SCHEDULERS
+from repro.sparse import csr_from_coo, poisson2d
+
+
+def block_duplicate(a):
+    """Block-diag of two copies of ``a`` (ids offset for the second)."""
+    n = a.n_rows
+    row_of = np.repeat(np.arange(n, dtype=np.int64), a.row_nnz())
+    rows = np.concatenate([row_of, row_of + n])
+    cols = np.concatenate([a.indices, a.indices + n])
+    vals = np.concatenate([a.data, a.data])
+    return csr_from_coo(2 * n, 2 * n, rows, cols, vals, sum_duplicates=False)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return poisson2d(10, seed=3)
+
+
+def test_duplication_doubles_work_preserves_span(base):
+    """Two independent copies: total cost doubles, critical path unchanged."""
+    kernel = KERNELS["spilu0"]
+    twin = block_duplicate(base)
+    g1, g2 = kernel.dag(base), kernel.dag(twin)
+    c1, c2 = kernel.cost(base), kernel.cost(twin)
+    assert c2.sum() == pytest.approx(2 * c1.sum())
+    assert weighted_critical_path(g2, c2) == pytest.approx(
+        weighted_critical_path(g1, c1)
+    )
+
+
+def test_duplication_improves_or_preserves_balance(base):
+    """An extra independent copy can only help HDagg fill its bins."""
+    kernel = KERNELS["spilu0"]
+    twin = block_duplicate(base)
+    s1 = hdagg(kernel.dag(base), kernel.cost(base), 4)
+    s2 = hdagg(kernel.dag(twin), kernel.cost(twin), 4)
+    s2.validate(kernel.dag(twin))
+    assert accumulated_pgp(s2, kernel.cost(twin)) <= (
+        accumulated_pgp(s1, kernel.cost(base)) + 0.05
+    )
+
+
+def test_uniform_cost_scaling_scales_simulation(base):
+    """Scaling every cost by k scales compute; memory unchanged — makespan
+    grows but strictly less than k-fold."""
+    kernel = KERNELS["sptrsv"]
+    from repro.sparse import lower_triangle
+
+    low = lower_triangle(base)
+    g = kernel.dag(low)
+    cost = kernel.cost(low)
+    mem = kernel.memory_model(low, g)
+    s = SCHEDULERS["wavefront"](g, cost, 4)
+    r1 = simulate(s, g, cost, mem, LAPTOP4)
+    r2 = simulate(s, g, cost * 10.0, mem, LAPTOP4)
+    assert r1.makespan_cycles < r2.makespan_cycles < 10 * r1.makespan_cycles
+    # memory metrics untouched by pure compute scaling
+    assert r1.hits == r2.hits and r1.misses == r2.misses
+
+
+def test_adding_transitive_edges_changes_nothing_after_reduction(base):
+    """Transitive edges do not change HDagg's grouping (step 1 removes
+    them), so the coarse structure is identical."""
+    kernel = KERNELS["spilu0"]
+    g = kernel.dag(base)
+    src, dst = g.edge_list()
+    # add the 2-hop closure edges explicitly
+    extra_src, extra_dst = [], []
+    for v in range(g.n):
+        for c1 in g.children(v):
+            for c2 in g.children(int(c1)):
+                extra_src.append(v)
+                extra_dst.append(int(c2))
+    g_fat = DAG.from_edges(
+        g.n,
+        np.concatenate([src, np.array(extra_src, dtype=np.int64)]),
+        np.concatenate([dst, np.array(extra_dst, dtype=np.int64)]),
+    )
+    cost = kernel.cost(base)
+    s_thin = hdagg(g, cost, 4)
+    s_fat = hdagg(g_fat, cost, 4)
+    s_fat.validate(g_fat)
+    assert s_thin.meta["n_groups"] == s_fat.meta["n_groups"]
+    assert s_thin.n_levels == s_fat.n_levels
+
+
+def test_machine_with_more_cores_never_slower_for_wavefront(base):
+    """More cores with the same schedule family: per-level spans shrink."""
+    kernel = KERNELS["spilu0"]
+    g = kernel.dag(base)
+    cost = kernel.cost(base)
+    mem = kernel.memory_model(base, g)
+    r2 = simulate(SCHEDULERS["wavefront"](g, cost, 2), g, cost, mem, LAPTOP4.scaled(2))
+    r4 = simulate(SCHEDULERS["wavefront"](g, cost, 4), g, cost, mem, LAPTOP4.scaled(4))
+    # sync costs rise with p, so compare the work part only
+    assert sum(r4.level_spans) <= sum(r2.level_spans) * 1.3
