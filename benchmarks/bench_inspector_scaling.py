@@ -5,7 +5,15 @@ reduction, O(|V| + |E|) for subtree aggregation, and O(l * |E| * log|V|)
 for the per-merge connected components.  This benchmark times the real
 stages of this implementation over a Poisson size sweep and checks the
 growth is near-linear in |E| (doubling nnz must not quadruple stage time).
+
+Besides the human-readable table, the sweep emits
+``benchmarks/output/BENCH_inspector.json`` — machine-readable per-size
+timings (total plus per-stage from the inspector's :class:`StageTimer`
+metadata) so CI and regression tooling can diff inspector performance
+across commits without parsing text tables.
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -17,7 +25,7 @@ from repro.kernels import KERNELS
 from repro.sparse import apply_ordering, poisson2d
 from repro.suite import format_table
 
-SIZES = [32, 48, 64, 96]
+SIZES = [32, 48, 64, 96, 128, 192]
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +54,7 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
 
     rows = []
     times = []
+    json_rows = []
     for nx, a, g in dags:
         cost = KERNELS["sptrsv"].cost(a)  # full-matrix cost proxy, fine for timing
         t0 = time.perf_counter()
@@ -53,6 +62,18 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
         dt = time.perf_counter() - t0
         times.append(dt)
         rows.append([f"poisson2d({nx})", g.n, g.n_edges, dt * 1e3, s.n_levels])
+        json_rows.append(
+            {
+                "matrix": f"poisson2d({nx})",
+                "n": int(g.n),
+                "edges": int(g.n_edges),
+                "inspector_ms": dt * 1e3,
+                "stage_ms": {
+                    k: v * 1e3 for k, v in s.meta.get("stage_seconds", {}).items()
+                },
+                "coarse_wavefronts": int(s.n_levels),
+            }
+        )
     write_report(
         output_dir,
         "inspector_scaling",
@@ -62,7 +83,12 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
             title="HDagg inspector scaling (Section IV-E)",
         ),
     )
-    # near-linear growth: 9x more edges should cost well under 9^2 more time
+    (output_dir / "BENCH_inspector.json").write_text(
+        json.dumps({"version": 1, "sizes": json_rows}, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    # near-linear growth: more edges should cost well under quadratically
+    # more time
     edge_ratio = dags[-1][2].n_edges / dags[0][2].n_edges
     time_ratio = times[-1] / max(times[0], 1e-9)
     assert time_ratio < edge_ratio**2, (time_ratio, edge_ratio)

@@ -1,0 +1,62 @@
+"""Quick inspector smoke benchmark for CI.
+
+Runs the full HDagg inspector on poisson2d(64) a few times and fails when
+the best run exceeds a generous wall-clock budget.  The budget is ~5x the
+warm time measured on a developer laptop, so it only trips on genuine
+regressions (an accidentally reintroduced quadratic loop), never on CI
+jitter.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_inspector.py [budget_ms]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import hdagg
+from repro.graph import dag_from_matrix_lower
+from repro.kernels import KERNELS
+from repro.sparse import apply_ordering, poisson2d
+
+DEFAULT_BUDGET_MS = 250.0
+ROUNDS = 3
+
+
+def main(budget_ms: float = DEFAULT_BUDGET_MS) -> int:
+    a, _ = apply_ordering(poisson2d(64, seed=1), "nd")
+    g = dag_from_matrix_lower(a)
+    cost = np.asarray(KERNELS["sptrsv"].cost(a), dtype=float)[: g.n]
+    hdagg(g, cost, 20)  # warm-up: imports, allocator, BLAS thread spin-up
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        schedule = hdagg(g, cost, 20)
+        best = min(best, time.perf_counter() - t0)
+    schedule.validate(g)
+    best_ms = best * 1e3
+    stages = schedule.meta.get("stage_seconds", {})
+    detail = ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in stages.items())
+    print(f"poisson2d(64) inspector: best of {ROUNDS} = {best_ms:.1f} ms ({detail})")
+    if best_ms > budget_ms:
+        print(f"FAIL: exceeds budget of {budget_ms:.0f} ms", file=sys.stderr)
+        return 1
+    print(f"OK: within budget of {budget_ms:.0f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        budget = float(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_BUDGET_MS
+    except ValueError:
+        print(
+            f"usage: {sys.argv[0]} [budget_ms]  (budget_ms must be a number, "
+            f"got {sys.argv[1]!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    raise SystemExit(main(budget))

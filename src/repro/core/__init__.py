@@ -8,6 +8,7 @@ from .inspector import HDaggInspector
 from .lbp import CoarsenedWavefront, LBPDecision, LBPResult, lbp_coarsen
 from .pgp import DEFAULT_EPSILON, accumulated_pgp, pgp, pgp_worst_case
 from .schedule import Schedule, ScheduleError, WidthPartition
+from .schedule_cache import CacheStats, ScheduleCache, schedule_key
 from .verify import VerificationReport, verify_schedule
 
 __all__ = [
@@ -31,6 +32,9 @@ __all__ = [
     "DEFAULT_EPSILON",
     "Schedule",
     "ScheduleError",
+    "ScheduleCache",
+    "CacheStats",
+    "schedule_key",
     "verify_schedule",
     "VerificationReport",
     "WidthPartition",

@@ -35,8 +35,33 @@ import numpy as np
 from ..graph.coarsen import Grouping, grouping_from_groups
 from ..graph.dag import DAG
 from ..graph.transitive_reduction import transitive_reduction_two_hop
+from ..sparse.csr import INDEX_DTYPE
 
-__all__ = ["aggregate_densely_connected", "subtree_grouping"]
+__all__ = ["aggregate_densely_connected", "subtree_grouping", "subtree_grouping_reference"]
+
+
+def _grouping_from_root_labels(n: int, roots: np.ndarray) -> Grouping:
+    """Build a :class:`Grouping` from per-vertex root labels.
+
+    Groups are renumbered by smallest member id (not by root id — a group's
+    sink can carry a larger id than another group's smallest member), which
+    reproduces ``trees.sort(key=min)`` of the reference listing.
+    """
+    order = np.argsort(roots, kind="stable")  # ids ascending within a root
+    sorted_roots = roots[order]
+    boundaries = np.flatnonzero(sorted_roots[1:] != sorted_roots[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    min_members = order[starts]  # first id per segment == smallest member
+    seg_rank = np.empty(min_members.shape[0], dtype=INDEX_DTYPE)
+    seg_rank[np.argsort(min_members)] = np.arange(min_members.shape[0], dtype=INDEX_DTYPE)
+    seg_of_sorted = np.zeros(n, dtype=INDEX_DTYPE)
+    seg_of_sorted[boundaries] = 1
+    np.cumsum(seg_of_sorted, out=seg_of_sorted)
+    labels = np.empty(n, dtype=INDEX_DTYPE)
+    labels[order] = seg_rank[seg_of_sorted]
+    # member arrays are built lazily by Grouping from the labels; the hot
+    # path (coarsen + group costs + expansion) never touches them
+    return Grouping(labels=labels, n_groups=min_members.shape[0])
 
 
 def subtree_grouping(
@@ -49,7 +74,102 @@ def subtree_grouping(
     With ``cost`` and ``max_group_cost`` set, a group stops absorbing
     parents once its accumulated cost would exceed the cap (the parents are
     seeded as new groups instead); see the module docstring.
+
+    Fast path (bit-identical to :func:`subtree_grouping_reference`): the
+    BFS's merge test is *structural*.  A parent with out-degree 1 can only
+    ever be visited through its single child, so the "all parents
+    unvisited" clause is implied by "all parents have out-degree 1" — group
+    membership reduces to following ``v -> child(v)`` pointers wherever the
+    child's merge test passes, evaluated for all vertices at once with
+    pointer jumping.  Only groups whose *total* cost exceeds the cap can
+    deviate (the cap check depends on BFS order), so the sequential worklist
+    replay runs on those few trees alone.
     """
+    n = g_reduced.n
+    if n == 0:
+        return grouping_from_groups(0, [])
+    capped = cost is not None and max_group_cost is not None
+
+    out_deg = g_reduced.out_degree()
+    in_ptr, in_idx = g_reduced.in_ptr, g_reduced.in_idx
+    in_deg = np.diff(in_ptr)
+    # merge test per vertex: has parents, and every parent has out-degree 1
+    bad_csum = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(out_deg[in_idx] != 1))
+    )
+    mergeable = (in_deg > 0) & (bad_csum[in_ptr[1:]] == bad_csum[in_ptr[:-1]])
+
+    # follow pointer: a chain vertex joins its single child's group when the
+    # child's merge test passes; everyone else roots its own group
+    nxt = np.arange(n, dtype=INDEX_DTYPE)
+    chain = np.flatnonzero(out_deg == 1)
+    child = g_reduced.indices[g_reduced.indptr[chain]]
+    follow = mergeable[child]
+    nxt[chain[follow]] = child[follow]
+
+    roots = nxt.copy()
+    limit = max(1, int(n).bit_length()) + 2  # doubling halves depth per round
+    for _ in range(limit):
+        hop = roots[roots]
+        if np.array_equal(hop, roots):
+            break
+        roots = hop
+    if not bool(np.all(nxt[roots] == roots)):
+        # Follow pointers only cycle when the input graph does.
+        raise ValueError("subtree grouping did not cover the graph; input may be cyclic")
+
+    if capped:
+        cost64 = np.asarray(cost, dtype=np.float64)
+        tree_cost = np.bincount(roots, weights=cost64, minlength=n)
+        oversized = np.flatnonzero(tree_cost > max_group_cost)
+        if oversized.shape[0]:
+            # Sequential cap replay, restricted to the oversized trees: the
+            # exact FIFO walk of the reference (parents appended in
+            # ascending id order), with each cap failure re-seeding the
+            # parents as fresh roots with their own budget.
+            pc_csum = np.concatenate(
+                (np.zeros(1, dtype=np.float64), np.cumsum(cost64[in_idx]))
+            )
+            parent_cost = pc_csum[in_ptr[1:]] - pc_csum[in_ptr[:-1]]
+            roots = roots.copy()
+            mergeable_list = mergeable.tolist()
+            in_ptr_list = in_ptr.tolist()
+            in_idx_list = in_idx.tolist()
+            cost_list = cost64.tolist()
+            parent_cost_list = parent_cost.tolist()
+            cap = float(max_group_cost)
+            for r in oversized.tolist():
+                seeds = [r]
+                si = 0
+                while si < len(seeds):
+                    root = seeds[si]
+                    si += 1
+                    budget = cost_list[root]
+                    members = [root]
+                    j = 0
+                    while j < len(members):
+                        v = members[j]
+                        j += 1
+                        if not mergeable_list[v]:
+                            continue
+                        added = parent_cost_list[v]
+                        parents = in_idx_list[in_ptr_list[v] : in_ptr_list[v + 1]]
+                        if budget + added <= cap:
+                            budget += added
+                            members.extend(parents)
+                        else:
+                            seeds.extend(parents)
+                    roots[members] = root
+
+    return _grouping_from_root_labels(n, roots)
+
+
+def subtree_grouping_reference(
+    g_reduced: DAG,
+    cost: np.ndarray | None = None,
+    max_group_cost: float | None = None,
+) -> Grouping:
+    """Literal Lines 2-19 worklist BFS — the retained oracle for the fast path."""
     n = g_reduced.n
     out_deg = g_reduced.out_degree()
     visited = np.zeros(n, dtype=bool)

@@ -27,8 +27,9 @@ from typing import List
 import numpy as np
 
 from ..graph.coarsen import Grouping, coarsen_dag, identity_grouping
-from ..graph.dag import DAG
+from ..graph.dag import DAG, gather_slices
 from ..graph.transitive_reduction import transitive_reduction_two_hop
+from ..runtime.perf import StageTimer
 from ..sparse.csr import INDEX_DTYPE
 from .aggregation import subtree_grouping
 from .lbp import LBPResult, lbp_coarsen
@@ -42,6 +43,16 @@ def _expand_bin(grouping: Grouping, coarse_ids: np.ndarray) -> np.ndarray:
     """Original vertex ids of a set of coarse vertices, smallest id first."""
     members = [grouping.groups[int(c)] for c in coarse_ids]
     return np.sort(np.concatenate(members)) if members else np.empty(0, dtype=INDEX_DTYPE)
+
+
+def _grouping_csr(grouping: Grouping) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a grouping into CSR form: members of group ``i`` are
+    ``flat[ptr[i]:ptr[i+1]]`` in ascending id order."""
+    labels = grouping.labels
+    flat = np.argsort(labels, kind="stable").astype(INDEX_DTYPE, copy=False)
+    ptr = np.zeros(grouping.n_groups + 1, dtype=INDEX_DTYPE)
+    np.cumsum(np.bincount(labels, minlength=grouping.n_groups), out=ptr[1:])
+    return ptr, flat
 
 
 def expand_lbp_to_schedule(
@@ -61,21 +72,45 @@ def expand_lbp_to_schedule(
     (Lines 36-38): every connected component becomes its own width-partition
     with ``core = -1`` for dynamic placement.
     """
+    gptr, gflat = _grouping_csr(grouping)
+    gsize = np.diff(gptr)
+
     levels: List[List[WidthPartition]] = []
     for cw in lbp.coarsened:
         parts: List[WidthPartition] = []
+        if not cw.components:
+            continue
+        # Expand the whole coarsened wavefront at once: gather every
+        # member vertex, tag it with its target bucket (bin, or component
+        # in fine-grained mode), and one lexsort by (bucket, id) yields
+        # each partition's smallest-id-first vertex list as a slice.
+        sizes = np.asarray([c.shape[0] for c in cw.components], dtype=INDEX_DTYPE)
+        coarse_all = np.concatenate(cw.components)
+        comp_of_coarse = np.repeat(
+            np.arange(sizes.shape[0], dtype=INDEX_DTYPE), sizes
+        )
         if lbp.fine_grained:
-            for comp in cw.components:
-                verts = _expand_bin(grouping, comp)
-                if verts.size:
-                    parts.append(WidthPartition(core=-1, vertices=verts))
+            bucket_of_coarse = comp_of_coarse
+            n_buckets = sizes.shape[0]
+            cores = np.full(n_buckets, -1, dtype=INDEX_DTYPE)
         else:
-            for core, items in enumerate(cw.packing.items_per_bin(p)):
-                if items.size == 0:
-                    continue
-                coarse = np.concatenate([cw.components[int(k)] for k in items])
-                verts = _expand_bin(grouping, coarse)
-                parts.append(WidthPartition(core=core, vertices=verts))
+            bucket_of_coarse = cw.packing.assignment[comp_of_coarse]
+            n_buckets = p
+            cores = np.arange(p, dtype=INDEX_DTYPE)
+        verts = gather_slices(gptr, gflat, coarse_all)
+        bucket = np.repeat(bucket_of_coarse, gsize[coarse_all])
+        order = np.lexsort((verts, bucket))
+        sv = verts[order]
+        ptr = np.zeros(n_buckets + 1, dtype=np.int64)
+        np.cumsum(np.bincount(bucket, minlength=n_buckets), out=ptr[1:])
+        ptr_list = ptr.tolist()
+        for b, core in enumerate(cores.tolist()):
+            lo, hi = ptr_list[b], ptr_list[b + 1]
+            if lo == hi:
+                continue
+            parts.append(
+                WidthPartition(core=core, vertices=np.ascontiguousarray(sv[lo:hi]))
+            )
         if parts:
             levels.append(parts)
     return Schedule(
@@ -140,23 +175,28 @@ def hdagg(
     if g.n == 0:
         return Schedule(n=0, levels=[], sync="barrier", algorithm="hdagg", n_cores=p)
 
+    timer = StageTimer()
     # ---------------- Step 1 (Lines 1-20) ----------------
     if aggregate:
-        g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
+        with timer.stage("transitive_reduction"):
+            g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
         cap = (
             group_cost_cap_fraction * float(cost.sum()) / p
             if group_cost_cap_fraction is not None
             else None
         )
-        grouping = subtree_grouping(g_base, cost, cap)
+        with timer.stage("aggregation"):
+            grouping = subtree_grouping(g_base, cost, cap)
     else:
         g_base = g
         grouping = identity_grouping(g.n)
-    g2 = coarsen_dag(g_base, grouping)
-    group_cost = grouping.group_costs(cost)
+    with timer.stage("coarsen"):
+        g2 = coarsen_dag(g_base, grouping)
+        group_cost = grouping.group_costs(cost)
 
     # ---------------- Step 2 (Lines 21-38) ----------------
-    lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
+    with timer.stage("lbp"):
+        lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
     if not bin_pack:
         lbp.fine_grained = True
 
@@ -171,4 +211,9 @@ def hdagg(
         "cut_positions": lbp.cut_positions,
         "epsilon": epsilon,
     }
-    return expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)
+    with timer.stage("expand"):
+        schedule = expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)
+    # per-stage seconds for NRE-style reporting; to_dict() drops non-JSON
+    # meta values, so this never leaks into serialized schedules
+    schedule.meta["stage_seconds"] = timer.as_dict()
+    return schedule

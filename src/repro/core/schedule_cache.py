@@ -1,0 +1,144 @@
+"""Structure-keyed schedule cache.
+
+Inspector output is a pure function of the dependence DAG's structure and
+the scheduling parameters — re-running HDagg on the same sparsity pattern
+with the same ``(kernel, algorithm, p, epsilon, options)`` always yields
+the same schedule.  Solver pipelines exploit exactly this: a
+factorization's pattern is fixed across hundreds of triangular solves, and
+amortizing one inspection over them is what makes inspector-executor
+frameworks pay off (the paper's NRE metric, Section V-D).
+
+The key is a SHA-256 digest over the CSR structure bytes (``indptr`` and
+``indices``) plus a canonical encoding of the parameters; two DAGs collide
+only if they are structurally identical, in which case sharing the
+schedule is precisely the point.  Entries are kept in LRU order with an
+optional capacity bound, and hit/miss counters make cache effectiveness
+observable from the harness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graph.dag import DAG
+from .schedule import Schedule
+
+__all__ = ["CacheStats", "ScheduleCache", "schedule_key"]
+
+_KEY_VERSION = b"repro-schedule-key-v1\0"
+
+
+def schedule_key(
+    g: DAG,
+    *,
+    kernel: str = "",
+    algorithm: str = "hdagg",
+    p: int,
+    epsilon: float | None = None,
+    cost: np.ndarray | None = None,
+    options: dict | None = None,
+) -> str:
+    """Digest identifying one inspection problem.
+
+    Covers the DAG structure (``indptr``/``indices`` bytes — the full CSR
+    pattern), the kernel and algorithm names, the core count, epsilon, and
+    any extra keyword options (sorted by name, ``repr``-encoded).  ``cost``
+    is optional because kernels derive it deterministically from the
+    pattern; pass it when costs come from elsewhere.
+    """
+    h = sha256(_KEY_VERSION)
+    h.update(np.int64(g.n).tobytes())
+    h.update(np.int64(g.n_edges).tobytes())
+    h.update(np.ascontiguousarray(g.indptr).tobytes())
+    h.update(np.ascontiguousarray(g.indices).tobytes())
+    if cost is not None:
+        h.update(b"cost\0")
+        h.update(np.ascontiguousarray(cost, dtype=np.float64).tobytes())
+    params = (
+        kernel,
+        algorithm,
+        int(p),
+        None if epsilon is None else float(epsilon),
+        sorted((options or {}).items()),
+    )
+    h.update(repr(params).encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/entry counters of one :class:`ScheduleCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ScheduleCache:
+    """LRU map from :func:`schedule_key` digests to schedules.
+
+    ``max_entries=None`` means unbounded (the harness's per-suite default:
+    a suite holds a few hundred schedules at most).  Stored schedules are
+    returned as-is — they are treated as immutable by every consumer.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> Optional[Schedule]:
+        """Look up a schedule; counts a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: str, schedule: Schedule) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if over capacity."""
+        self._entries[key] = schedule
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get_or_build(self, key: str, builder: Callable[[], Schedule]) -> Schedule:
+        """Return the cached schedule or build-and-store it."""
+        found = self.get(key)
+        if found is not None:
+            return found
+        built = builder()
+        self.put(key, built)
+        return built
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

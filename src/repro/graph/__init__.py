@@ -19,6 +19,7 @@ from .io import from_edge_list, read_edge_list, to_dot, to_edge_list, write_edge
 from .topological import CycleError, is_acyclic, topological_order, verify_schedule_order
 from .transitive_reduction import (
     transitive_edge_mask,
+    transitive_edge_mask_reference,
     transitive_reduction_reference,
     transitive_reduction_two_hop,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "transitive_reduction_two_hop",
     "transitive_reduction_reference",
     "transitive_edge_mask",
+    "transitive_edge_mask_reference",
     "Wavefronts",
     "compute_wavefronts",
     "level_of_vertices",

@@ -9,8 +9,7 @@ per group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +19,6 @@ from .dag import DAG
 __all__ = ["Grouping", "grouping_from_labels", "grouping_from_groups", "coarsen_dag", "identity_grouping"]
 
 
-@dataclass(frozen=True)
 class Grouping:
     """A partition of DAG vertices into disjoint groups.
 
@@ -29,15 +27,45 @@ class Grouping:
     labels:
         ``labels[v]`` is the group id of vertex ``v`` (0-based, dense).
     groups:
-        ``groups[gid]`` is the sorted array of member vertex ids.
+        ``groups[gid]`` is the sorted array of member vertex ids.  Built
+        lazily from ``labels`` on first access: the coarsening/cost paths
+        only ever need labels, and skipping the per-group array
+        construction keeps the inspector hot path allocation-free.
     """
 
-    labels: np.ndarray
-    groups: List[np.ndarray]
+    __slots__ = ("labels", "_groups", "_n_groups")
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        groups: Optional[List[np.ndarray]] = None,
+        n_groups: Optional[int] = None,
+    ) -> None:
+        self.labels = labels
+        self._groups = list(groups) if groups is not None else None
+        if n_groups is not None:
+            self._n_groups = int(n_groups)
+        elif groups is not None:
+            self._n_groups = len(groups)
+        else:
+            self._n_groups = int(labels.max()) + 1 if labels.shape[0] else 0
 
     @property
     def n_groups(self) -> int:
-        return len(self.groups)
+        return self._n_groups
+
+    @property
+    def groups(self) -> List[np.ndarray]:
+        if self._groups is None:
+            order = np.argsort(self.labels, kind="stable").astype(INDEX_DTYPE, copy=False)
+            ptr = np.zeros(self._n_groups + 1, dtype=np.int64)
+            np.cumsum(np.bincount(self.labels, minlength=self._n_groups), out=ptr[1:])
+            pl = ptr.tolist()
+            self._groups = [
+                np.ascontiguousarray(order[pl[i] : pl[i + 1]])
+                for i in range(self._n_groups)
+            ]
+        return self._groups
 
     @property
     def n_vertices(self) -> int:
@@ -96,7 +124,7 @@ def grouping_from_groups(n: int, groups: Sequence[Sequence[int]]) -> Grouping:
 def identity_grouping(n: int) -> Grouping:
     """Every vertex is its own group (used when step 1 is disabled)."""
     ids = np.arange(n, dtype=INDEX_DTYPE)
-    return Grouping(labels=ids, groups=[np.array([v], dtype=INDEX_DTYPE) for v in range(n)])
+    return Grouping(labels=ids, n_groups=n)
 
 
 def coarsen_dag(g: DAG, grouping: Grouping) -> DAG:

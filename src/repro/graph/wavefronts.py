@@ -57,10 +57,16 @@ class Wavefronts:
 
 
 def level_of_vertices(g: DAG) -> np.ndarray:
-    """Longest-path level of every vertex (vectorized Kahn sweep)."""
+    """Longest-path level of every vertex (vectorized Kahn sweep).
+
+    Per-level work is proportional to the frontier's out-edges, not to
+    ``|V|``: in-degrees are decremented only at touched vertices, so deep
+    narrow DAGs (long chains) cost O(|V| + |E| log |E|) total instead of
+    O(|V| * levels).
+    """
     indeg = g.in_degree().copy()
     level = np.zeros(g.n, dtype=INDEX_DTYPE)
-    frontier = np.nonzero(indeg == 0)[0].astype(INDEX_DTYPE)
+    frontier = np.flatnonzero(indeg == 0).astype(INDEX_DTYPE)
     if g.n and frontier.size == 0:
         raise CycleError("graph has no source vertex")
     current = 0
@@ -70,9 +76,10 @@ def level_of_vertices(g: DAG) -> np.ndarray:
         seen += frontier.size
         touched = gather_slices(g.indptr, g.indices, frontier)
         if touched.size:
-            dec = np.bincount(touched, minlength=g.n)
-            indeg -= dec
-            frontier = np.nonzero((indeg == 0) & (dec > 0))[0].astype(INDEX_DTYPE)
+            np.subtract.at(indeg, touched, 1)
+            frontier = np.unique(touched[indeg[touched] == 0]).astype(
+                INDEX_DTYPE, copy=False
+            )
         else:
             frontier = np.empty(0, dtype=INDEX_DTYPE)
         current += 1

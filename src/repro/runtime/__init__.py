@@ -4,6 +4,7 @@ from .cache import LRUCache, per_vertex_memory_cycles, reuse_window_hits
 from .exact import ExactCacheStats, simulate_cache_exact
 from .executor import execute_schedule, interleaved_order
 from .machine import AMD64, INTEL20, LAPTOP4, MACHINES, MachineConfig
+from .perf import StageTimer
 from .simulator import SimulationResult, bind_dynamic_partitions, simulate
 from .threaded import ThreadedExecutionError, run_threaded
 
@@ -13,6 +14,7 @@ __all__ = [
     "AMD64",
     "LAPTOP4",
     "MACHINES",
+    "StageTimer",
     "LRUCache",
     "reuse_window_hits",
     "per_vertex_memory_cycles",

@@ -1,0 +1,59 @@
+"""Lightweight per-stage wall-clock timing for the inspector pipeline.
+
+The paper reports inspector overhead as a first-class metric (NRE,
+Section V-D); this module gives every pipeline the same cheap way to
+attribute that overhead to stages (transitive reduction, aggregation,
+coarsening, LBP, expansion) without threading timestamps by hand.
+
+A :class:`StageTimer` accumulates seconds per named stage; entering the
+same stage twice adds up (useful for per-matrix loops).  The timer is a
+plain dict underneath so results drop straight into ``Schedule.meta`` or a
+harness row.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulate wall-clock seconds per named stage.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("reduce"):
+    ...     pass
+    >>> sorted(timer.seconds) == ["reduce"]
+    True
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one stage; nested/repeated entries accumulate."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+
+    @property
+    def total(self) -> float:
+        """Sum over all stages."""
+        return float(sum(self.seconds.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the per-stage seconds (safe to stash in metadata)."""
+        return dict(self.seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in self.seconds.items())
+        return f"StageTimer({inner})"

@@ -158,11 +158,45 @@ def bind_dynamic_partitions(schedule: Schedule, cost: np.ndarray) -> Schedule:
     )
 
 
+def _flatten_partitions(
+    schedule: Schedule,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a schedule's partitions into parallel arrays (one pass).
+
+    Returns ``(verts, ptr, part_core, part_level)``: partition ``k`` (in
+    schedule iteration order) owns ``verts[ptr[k]:ptr[k+1]]`` and runs on
+    ``part_core[k]`` at level ``part_level[k]``.  Every downstream batch
+    pass works off these arrays instead of re-walking the partition lists.
+    """
+    chunks: List[np.ndarray] = []
+    cores: List[int] = []
+    lvls: List[int] = []
+    for lvl, part in schedule.iter_partitions():
+        chunks.append(part.vertices)
+        cores.append(part.core)
+        lvls.append(lvl)
+    n_parts = len(chunks)
+    ptr = np.zeros(n_parts + 1, dtype=INDEX_DTYPE)
+    if n_parts:
+        sizes = np.fromiter((c.shape[0] for c in chunks), dtype=INDEX_DTYPE, count=n_parts)
+        np.cumsum(sizes, out=ptr[1:])
+        verts = np.concatenate(chunks).astype(INDEX_DTYPE, copy=False)
+    else:
+        verts = np.empty(0, dtype=INDEX_DTYPE)
+    return (
+        verts,
+        ptr,
+        np.asarray(cores, dtype=INDEX_DTYPE),
+        np.asarray(lvls, dtype=INDEX_DTYPE),
+    )
+
+
 def _memory_cycles(
     schedule: Schedule,
     g: DAG,
     memory: MemoryModel,
     machine: MachineConfig,
+    flat: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
 ) -> tuple[np.ndarray, int, int, float]:
     """Per-vertex memory cycles under the coherence-aware model.
 
@@ -171,7 +205,10 @@ def _memory_cycles(
     """
     n = schedule.n
     p = machine.n_cores
-    core = schedule.core_assignment() % p
+    verts_all, part_ptr, part_core, _ = flat
+    vert_core = np.repeat(part_core % p, np.diff(part_ptr))
+    core = np.zeros(n, dtype=INDEX_DTYPE)
+    core[verts_all] = vert_core
     # optional bandwidth model: misses slow down with concurrently active
     # cores (docs/MODEL.md); active count approximated by the schedule's
     # mean level width
@@ -184,20 +221,29 @@ def _memory_cycles(
         )
 
     # Per-vertex access volume (stream + incoming dependence lines), then
-    # per-core cumulative access position in execution order.
+    # per-core cumulative access position in execution order.  One stable
+    # sort by core keeps each core's vertices in schedule order; the cumsum
+    # then runs per contiguous core segment (identical accumulation order
+    # to a per-core gather, without re-walking the schedule per core).
     src, dst = g.edge_list()
     acc = memory.stream_lines.astype(np.float64).copy()
     if src.size:
         np.add.at(acc, dst, memory.edge_lines)
     position = np.zeros(n, dtype=np.float64)  # end-of-vertex access offset on its core
-    for c in np.unique(core):
-        verts_chunks = [
-            part.vertices
-            for _, part in schedule.iter_partitions()
-            if part.core % p == c
-        ]
-        verts = np.concatenate(verts_chunks)
-        position[verts] = np.cumsum(acc[verts])
+    if verts_all.size:
+        exec_order = np.argsort(vert_core, kind="stable")
+        sv = verts_all[exec_order]
+        sc = vert_core[exec_order]
+        acc_sv = acc[sv]
+        seg = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.flatnonzero(sc[1:] != sc[:-1]) + 1,
+                np.asarray([sv.shape[0]], dtype=np.int64),
+            )
+        )
+        for a, b in zip(seg[:-1].tolist(), seg[1:].tolist()):
+            position[sv[a:b]] = np.cumsum(acc_sv[a:b])
 
     hits_lines = 0.0
     miss_lines = float(memory.stream_lines.sum())
@@ -259,8 +305,26 @@ def simulate(
     schedule = bind_dynamic_partitions(schedule, cost)
     p = machine.n_cores
 
-    mem_cycles, hits, misses, effective_miss = _memory_cycles(schedule, g, memory, machine)
+    flat = _flatten_partitions(schedule)
+    verts_all, part_ptr, part_core, part_level = flat
+    n_parts = part_core.shape[0]
+
+    mem_cycles, hits, misses, effective_miss = _memory_cycles(
+        schedule, g, memory, machine, flat
+    )
     exec_cycles = cost * machine.cycles_per_cost_unit + mem_cycles
+
+    # Per-partition execution cycles in one pass (prefix sums over the
+    # flattened vertex array) — both sync modes consume these.
+    if n_parts:
+        ecs = np.concatenate(
+            (np.zeros(1, dtype=np.float64), np.cumsum(exec_cycles[verts_all]))
+        )
+        w_part = ecs[part_ptr[1:]] - ecs[part_ptr[:-1]]
+        part_core_mod = (part_core % p).astype(INDEX_DTYPE)
+    else:
+        w_part = np.zeros(0, dtype=np.float64)
+        part_core_mod = np.zeros(0, dtype=INDEX_DTYPE)
 
     busy = np.zeros(p, dtype=np.float64)
     n_p2p = 0
@@ -268,42 +332,50 @@ def simulate(
 
     level_spans: list = []
     if schedule.sync == "barrier":
-        makespan = 0.0
-        n_levels_nonempty = 0
-        for level in schedule.levels:
-            if not level:
-                continue
-            n_levels_nonempty += 1
-            loads = np.zeros(p, dtype=np.float64)
-            for part in level:
-                loads[part.core % p] += float(exec_cycles[part.vertices].sum())
-            busy += loads
-            span = float(loads.max())
-            level_spans.append(span)
-            makespan += span
+        # Batched per-level accounting: scatter partition cycles into a
+        # (level, core) grid, then reduce — no per-partition Python work.
+        n_levels = len(schedule.levels)
+        if n_parts:
+            loads2d = np.bincount(
+                part_level * p + part_core_mod,
+                weights=w_part,
+                minlength=n_levels * p,
+            ).reshape(n_levels, p)
+            nonempty = np.flatnonzero(np.bincount(part_level, minlength=n_levels))
+            busy = loads2d.sum(axis=0)
+            spans = loads2d[nonempty].max(axis=1)
+            level_spans = [float(s) for s in spans]
+            makespan = float(spans.sum())
+            n_levels_nonempty = int(nonempty.shape[0])
+        else:
+            makespan = 0.0
+            n_levels_nonempty = 0
         n_barriers = max(0, n_levels_nonempty - 1)
         sync_cycles = n_barriers * machine.barrier_cycles
         makespan += sync_cycles
     else:  # p2p
         n_barriers = 0
         dep_src, dep_dst = _p2p_dependencies(schedule, g)
-        n_parts = schedule.n_partitions
         dep_ptr = np.zeros(n_parts + 1, dtype=INDEX_DTYPE)
         np.cumsum(np.bincount(dep_dst, minlength=n_parts), out=dep_ptr[1:])
         order = np.argsort(dep_dst, kind="stable")
         dep_src_sorted = dep_src[order]
 
+        # The clock recurrence is inherently sequential (a partition's start
+        # depends on earlier finishes), but each step now reads precomputed
+        # partition sums instead of gathering exec_cycles per partition.
         finish = np.zeros(n_parts, dtype=np.float64)
-        part_core = np.empty(n_parts, dtype=INDEX_DTYPE)
         core_clock = np.zeros(p, dtype=np.float64)
-        for k, (_, part) in enumerate(schedule.iter_partitions()):
-            c = part.core % p
-            part_core[k] = c
-            w = float(exec_cycles[part.vertices].sum())
-            deps = dep_src_sorted[dep_ptr[k] : dep_ptr[k + 1]]
+        w_list = w_part.tolist()
+        core_list = part_core_mod.tolist()
+        dep_ptr_list = dep_ptr.tolist()
+        for k in range(n_parts):
+            c = core_list[k]
+            w = w_list[k]
+            deps = dep_src_sorted[dep_ptr_list[k] : dep_ptr_list[k + 1]]
             start = core_clock[c]
             if deps.size:
-                cross_core = part_core[deps] != c
+                cross_core = part_core_mod[deps] != c
                 n_cross = int(np.count_nonzero(cross_core))
                 n_p2p += n_cross
                 sync_cycles += machine.p2p_sync_cycles * n_cross

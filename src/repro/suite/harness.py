@@ -18,13 +18,15 @@ memory model per kernel, not one per algorithm.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.pgp import DEFAULT_EPSILON, accumulated_pgp
+from ..core.schedule_cache import ScheduleCache, schedule_key
 from ..kernels import KERNELS
 from ..metrics.load_balance import imbalance_ratio
 from ..metrics.nre import inspector_cost_model, nre
@@ -75,6 +77,10 @@ class RunRecord:
     schedule_partitions: int
     fine_grained: bool
     inspector_seconds: float
+    #: per-stage inspector seconds (HDagg populates this; empty otherwise)
+    stage_seconds: dict = field(default_factory=dict)
+    #: True when the schedule came from the harness's structure-keyed cache
+    schedule_cached: bool = False
 
 
 @dataclass
@@ -104,6 +110,12 @@ class Harness:
         ``"nd"`` by default).
     epsilon:
         HDagg/LBC load-balance threshold.
+    schedule_cache:
+        Optional :class:`~repro.core.schedule_cache.ScheduleCache`.  When
+        set, every inspection is keyed by the DAG structure and parameters;
+        repeated structures (re-runs, parameter sweeps sharing a matrix)
+        reuse the cached schedule instead of re-inspecting.  Cached hits
+        are flagged in ``RunRecord.schedule_cached``.
     """
 
     def __init__(
@@ -115,6 +127,7 @@ class Harness:
         ordering: str = "nd",
         epsilon: float = DEFAULT_EPSILON,
         validate: bool = True,
+        schedule_cache: Optional[ScheduleCache] = None,
     ) -> None:
         self.machines: List[MachineConfig] = [
             m if isinstance(m, MachineConfig) else MACHINES[m] for m in machines
@@ -130,6 +143,13 @@ class Harness:
         self.ordering = ordering
         self.epsilon = epsilon
         self.validate = validate
+        self.schedule_cache = schedule_cache
+
+    def __getstate__(self) -> dict:
+        # worker processes re-inspect rather than ship the cache's schedules
+        state = self.__dict__.copy()
+        state["schedule_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     def prepare(self, spec: MatrixSpec) -> MatrixContext:
@@ -180,13 +200,29 @@ class Harness:
 
             for algo in self._algorithms_for(kname):
                 for machine in self.machines:
+                    uses_epsilon = algo in ("hdagg", "lbc")
+                    key = None
+                    cached = None
+                    if self.schedule_cache is not None:
+                        key = schedule_key(
+                            g,
+                            kernel=kname,
+                            algorithm=algo,
+                            p=machine.n_cores,
+                            epsilon=self.epsilon if uses_epsilon else None,
+                        )
+                        cached = self.schedule_cache.get(key)
                     t0 = time.perf_counter()
-                    if algo in ("hdagg", "lbc"):
+                    if cached is not None:
+                        schedule = cached
+                    elif uses_epsilon:
                         schedule = SCHEDULERS[algo](g, cost, machine.n_cores, epsilon=self.epsilon)
                     else:
                         schedule = SCHEDULERS[algo](g, cost, machine.n_cores)
                     inspector_seconds = time.perf_counter() - t0
-                    if self.validate:
+                    if key is not None and cached is None:
+                        self.schedule_cache.put(key, schedule)
+                    if self.validate and cached is None:
                         schedule.validate(g)
                     sim = simulate(schedule, g, cost, memory, machine)
                     serial = serial_results[machine.name]
@@ -222,15 +258,63 @@ class Harness:
                             schedule_partitions=schedule.n_partitions,
                             fine_grained=schedule.fine_grained,
                             inspector_seconds=inspector_seconds,
+                            stage_seconds=dict(schedule.meta.get("stage_seconds", {})),
+                            schedule_cached=cached is not None,
                         )
                     )
         return records
 
-    def run_suite(self, specs: Sequence[MatrixSpec], *, progress: bool = False) -> List[RunRecord]:
-        """Run the grid over many matrices; flat record list."""
-        out: List[RunRecord] = []
-        for i, spec in enumerate(specs):
+    def run_suite(
+        self,
+        specs: Sequence[MatrixSpec],
+        *,
+        progress: bool = False,
+        n_jobs: int = 1,
+    ) -> List[RunRecord]:
+        """Run the grid over many matrices; flat record list.
+
+        ``n_jobs > 1`` fans the per-matrix work over a process pool.
+        Records come back in exactly the same order as the serial run
+        (``pool.map`` preserves input order, and each matrix's records are
+        generated deterministically), so downstream tables are identical
+        whichever mode produced them.  Worker processes do not share the
+        schedule cache — each matrix is inspected once either way.
+        """
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = None  # spawn cannot inherit matrix builders; run serially
+        if n_jobs == 1 or len(specs) <= 1 or ctx is None:
+            out: List[RunRecord] = []
+            for i, spec in enumerate(specs):
+                if progress:
+                    print(f"[{i + 1}/{len(specs)}] {spec.name}", flush=True)
+                out.extend(self.run_matrix(spec))
+            return out
+        # Matrix builders (closures) don't pickle; fork workers inherit the
+        # payload through this module global and receive only an index.
+        global _POOL_PAYLOAD
+        _POOL_PAYLOAD = (self, list(specs))
+        try:
+            with ctx.Pool(processes=min(n_jobs, len(specs))) as pool:
+                per_matrix = pool.map(_run_matrix_at, range(len(specs)))
+        finally:
+            _POOL_PAYLOAD = None
+        out = []
+        for i, records in enumerate(per_matrix):
             if progress:
-                print(f"[{i + 1}/{len(specs)}] {spec.name}", flush=True)
-            out.extend(self.run_matrix(spec))
+                print(f"[{i + 1}/{len(specs)}] {specs[i].name}", flush=True)
+            out.extend(records)
         return out
+
+
+#: (harness, specs) visible to fork workers; see Harness.run_suite
+_POOL_PAYLOAD: Optional[tuple] = None
+
+
+def _run_matrix_at(index: int) -> List[RunRecord]:
+    """Module-level pool worker: run one matrix of the inherited payload."""
+    harness, specs = _POOL_PAYLOAD
+    return harness.run_matrix(specs[index])

@@ -1,0 +1,185 @@
+"""Differential tests: vectorized inspector stages vs their retained
+reference loops.
+
+Every fast path in the inspector (pointer-jumping subtree grouping,
+monotone-pointer first-fit packing, warm-started LBP connected components)
+ships with the original loop implementation as an oracle.  These tests
+drive both over seeded random DAGs and the structural edge cases named in
+the design notes — empty DAG, single chain, star, tree-reduced chordal
+factor — and demand *bit-identical* output: same group partitions, same
+bin assignments and float loads, same coarsened wavefronts and packings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import subtree_grouping, subtree_grouping_reference
+from repro.core.binpack import first_fit_pack, first_fit_pack_reference
+from repro.core.lbp import lbp_coarsen, lbp_coarsen_reference
+from repro.graph import DAG, dag_from_matrix_lower, transitive_reduction_two_hop
+from repro.graph.coarsen import coarsen_dag
+from repro.sparse import lower_triangle, random_spd, symbolic_cholesky
+
+
+def _random_dag(rng, n, density):
+    src, dst = [], []
+    for j in range(1, n):
+        for i in range(j):
+            if rng.random() < density:
+                src.append(i)
+                dst.append(j)
+    return DAG.from_edges(
+        n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
+
+
+def _assert_grouping_equal(a, b):
+    assert np.array_equal(a.labels, b.labels)
+    assert a.n_groups == b.n_groups
+    for ga, gb in zip(a.groups, b.groups):
+        assert np.array_equal(ga, gb)
+
+
+def _assert_lbp_equal(a, b):
+    assert len(a.coarsened) == len(b.coarsened)
+    assert a.fine_grained == b.fine_grained
+    assert a.accumulated_pgp == b.accumulated_pgp  # bitwise float equality
+    for ca, cb in zip(a.coarsened, b.coarsened):
+        assert (ca.wave_lo, ca.wave_hi) == (cb.wave_lo, cb.wave_hi)
+        assert len(ca.components) == len(cb.components)
+        for xa, xb in zip(ca.components, cb.components):
+            assert np.array_equal(xa, xb)
+        assert np.array_equal(ca.packing.assignment, cb.packing.assignment)
+        assert np.array_equal(ca.packing.loads, cb.packing.loads)  # bitwise
+
+
+# ---------------------------------------------------------------- subtree
+
+
+def test_subtree_grouping_random_dags():
+    rng = np.random.default_rng(77)
+    for _ in range(40):
+        n = int(rng.integers(1, 50))
+        g = transitive_reduction_two_hop(_random_dag(rng, n, float(rng.uniform(0.02, 0.4))))
+        cost = rng.uniform(0.5, 4.0, size=n)
+        _assert_grouping_equal(subtree_grouping(g), subtree_grouping_reference(g))
+        for frac in (0.05, 0.25, 1.0):
+            cap = frac * float(cost.sum()) / 4
+            _assert_grouping_equal(
+                subtree_grouping(g, cost, cap),
+                subtree_grouping_reference(g, cost, cap),
+            )
+
+
+def test_subtree_grouping_empty_and_edgeless():
+    g0 = DAG.from_edges(0, [], [])
+    assert subtree_grouping(g0).n_groups == 0
+    g5 = DAG.from_edges(5, [], [])
+    _assert_grouping_equal(subtree_grouping(g5), subtree_grouping_reference(g5))
+
+
+def test_subtree_grouping_single_chain():
+    n = 12
+    g = DAG.from_edges(n, list(range(n - 1)), list(range(1, n)))
+    fast, ref = subtree_grouping(g), subtree_grouping_reference(g)
+    _assert_grouping_equal(fast, ref)
+    assert fast.n_groups == 1  # an uncapped chain collapses into one group
+    cost = np.ones(n)
+    capped = subtree_grouping(g, cost, 3.0)
+    _assert_grouping_equal(capped, subtree_grouping_reference(g, cost, 3.0))
+    assert capped.n_groups > 1  # the cap splits it
+
+
+def test_subtree_grouping_star():
+    n = 9  # many sources into one sink: parents have out-degree 1
+    g = DAG.from_edges(n, list(range(n - 1)), [n - 1] * (n - 1))
+    _assert_grouping_equal(subtree_grouping(g), subtree_grouping_reference(g))
+
+
+def test_subtree_grouping_chordal_elimination_tree():
+    a = random_spd(30, 3.0, seed=9)
+    g = dag_from_matrix_lower(lower_triangle(symbolic_cholesky(a)))
+    g_red = transitive_reduction_two_hop(g)
+    cost = np.ones(g.n)
+    _assert_grouping_equal(
+        subtree_grouping(g_red), subtree_grouping_reference(g_red)
+    )
+    cap = 0.25 * g.n / 4
+    _assert_grouping_equal(
+        subtree_grouping(g_red, cost, cap),
+        subtree_grouping_reference(g_red, cost, cap),
+    )
+
+
+def test_subtree_grouping_rejects_cycle():
+    # a 2-cycle is not a DAG; the pointer-jumping path must refuse it
+    # rather than loop forever or emit a partial grouping
+    g = DAG(
+        n=2,
+        indptr=np.array([0, 1, 2], dtype=np.int64),
+        indices=np.array([1, 0], dtype=np.int64),
+    )
+    with pytest.raises(ValueError):
+        subtree_grouping(g)
+
+
+# ---------------------------------------------------------------- binpack
+
+
+def test_first_fit_random():
+    rng = np.random.default_rng(5)
+    for _ in range(200):
+        k = int(rng.integers(0, 40))
+        p = int(rng.integers(1, 9))
+        costs = rng.uniform(0.0, 3.0, size=k)
+        fast, ref = first_fit_pack(costs, p), first_fit_pack_reference(costs, p)
+        assert np.array_equal(fast.assignment, ref.assignment)
+        assert np.array_equal(fast.loads, ref.loads)  # bitwise float equality
+
+
+def test_first_fit_edge_cases():
+    for costs, p in [([], 1), ([], 5), ([1.0], 1), ([0.0, 0.0], 3), ([5.0, 0.1], 2)]:
+        fast = first_fit_pack(costs, p)
+        ref = first_fit_pack_reference(costs, p)
+        assert np.array_equal(fast.assignment, ref.assignment)
+        assert np.array_equal(fast.loads, ref.loads)
+
+
+def test_items_per_bin_preserves_arrival_order():
+    packing = first_fit_pack([1.0, 1.0, 1.0, 1.0, 1.0], 2)
+    per_bin = packing.items_per_bin(2)
+    flat = np.concatenate(per_bin)
+    assert sorted(flat.tolist()) == [0, 1, 2, 3, 4]
+    for b, items in enumerate(per_bin):
+        assert np.array_equal(items, np.sort(items))  # arrival order == index order
+        assert np.all(packing.assignment[items] == b)
+
+
+# ---------------------------------------------------------------- lbp
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.5])
+def test_lbp_random_dags_bitwise(epsilon):
+    rng = np.random.default_rng(hash(epsilon) % 2**31)
+    for _ in range(25):
+        n = int(rng.integers(1, 45))
+        g = transitive_reduction_two_hop(_random_dag(rng, n, float(rng.uniform(0.05, 0.4))))
+        grouping = subtree_grouping(g)
+        g2 = coarsen_dag(g, grouping)
+        cost = rng.uniform(0.5, 4.0, size=g2.n)
+        for p in (1, 3, 6):
+            fast = lbp_coarsen(g2, cost, p, epsilon, allow_fine_grained=True)
+            ref = lbp_coarsen_reference(g2, cost, p, epsilon, allow_fine_grained=True)
+            _assert_lbp_equal(fast, ref)
+
+
+def test_lbp_single_wavefront_and_empty():
+    g0 = DAG.from_edges(0, [], [])
+    fast = lbp_coarsen(g0, np.empty(0), 2, 0.1)
+    ref = lbp_coarsen_reference(g0, np.empty(0), 2, 0.1)
+    _assert_lbp_equal(fast, ref)
+    g1 = DAG.from_edges(4, [], [])  # one wavefront of independent vertices
+    cost = np.array([1.0, 2.0, 3.0, 4.0])
+    _assert_lbp_equal(
+        lbp_coarsen(g1, cost, 2, 0.1), lbp_coarsen_reference(g1, cost, 2, 0.1)
+    )

@@ -1,0 +1,119 @@
+"""Tests for the structure-keyed schedule cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleCache, hdagg, schedule_key
+from repro.core.schedule_cache import CacheStats
+from repro.graph import DAG, dag_from_matrix_lower
+from repro.sparse import apply_ordering, lower_triangle, poisson2d
+
+
+@pytest.fixture(scope="module")
+def dag_and_cost():
+    a, _ = apply_ordering(poisson2d(12, seed=3), "nd")
+    g = dag_from_matrix_lower(lower_triangle(a))
+    cost = np.ones(g.n)
+    return g, cost
+
+
+def test_hit_miss_counters(dag_and_cost):
+    g, cost = dag_and_cost
+    cache = ScheduleCache()
+    key = schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1)
+    assert cache.get(key) is None
+    assert cache.stats == CacheStats(hits=0, misses=1, entries=0)
+    schedule = hdagg(g, cost, 4, 0.1)
+    cache.put(key, schedule)
+    assert cache.get(key) is schedule
+    assert cache.stats.hits == 1 and cache.stats.entries == 1
+    assert key in cache and len(cache) == 1
+
+
+def test_get_or_build(dag_and_cost):
+    g, cost = dag_and_cost
+    cache = ScheduleCache()
+    key = schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1)
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return hdagg(g, cost, 4, 0.1)
+
+    s1 = cache.get_or_build(key, builder)
+    s2 = cache.get_or_build(key, builder)
+    assert s1 is s2 and len(calls) == 1
+
+
+def test_key_sensitive_to_parameters(dag_and_cost):
+    g, _ = dag_and_cost
+    base = schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1)
+    assert schedule_key(g, kernel="sptrsv", p=4, epsilon=0.2) != base
+    assert schedule_key(g, kernel="sptrsv", p=8, epsilon=0.1) != base
+    assert schedule_key(g, kernel="spic0", p=4, epsilon=0.1) != base
+    assert schedule_key(g, kernel="sptrsv", algorithm="lbc", p=4, epsilon=0.1) != base
+    assert (
+        schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1, options={"cap": 0.5}) != base
+    )
+    # same inputs -> same key (deterministic digest)
+    assert schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1) == base
+
+
+def test_key_sensitive_to_one_edge(dag_and_cost):
+    g, _ = dag_and_cost
+    src, dst = g.edge_list()
+    assert g.n_edges > 0
+    g_minus = DAG.from_edges(g.n, src[:-1], dst[:-1])  # drop one edge
+    k1 = schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1)
+    k2 = schedule_key(g_minus, kernel="sptrsv", p=4, epsilon=0.1)
+    assert k1 != k2
+
+
+def test_key_sensitive_to_cost_when_given(dag_and_cost):
+    g, cost = dag_and_cost
+    k1 = schedule_key(g, kernel="sptrsv", p=4, cost=cost)
+    k2 = schedule_key(g, kernel="sptrsv", p=4, cost=cost * 2.0)
+    assert k1 != k2
+
+
+def test_cached_schedule_passes_dependence_validation(dag_and_cost):
+    g, cost = dag_and_cost
+    cache = ScheduleCache()
+    key = schedule_key(g, kernel="sptrsv", p=4, epsilon=0.1)
+    cache.put(key, hdagg(g, cost, 4, 0.1))
+    cached = cache.get(key)
+    cached.validate(g)  # structural + dependence safety must hold
+
+
+def test_lru_eviction():
+    cache = ScheduleCache(max_entries=2)
+    a = DAG.from_edges(3, [0, 1], [1, 2])
+    b = DAG.from_edges(3, [0], [2])
+    c = DAG.from_edges(3, [1], [2])
+    cost = np.ones(3)
+    keys = [schedule_key(g, p=2) for g in (a, b, c)]
+    for g, k in zip((a, b, c), keys):
+        cache.put(k, hdagg(g, cost, 2))
+    assert len(cache) == 2
+    assert keys[0] not in cache  # oldest evicted
+    assert keys[1] in cache and keys[2] in cache
+    cache.get(keys[1])  # refresh 1 -> 2 becomes LRU
+    cache.put(keys[0], hdagg(a, cost, 2))
+    assert keys[2] not in cache and keys[1] in cache
+
+
+def test_invalid_max_entries():
+    with pytest.raises(ValueError):
+        ScheduleCache(max_entries=0)
+
+
+def test_clear_resets():
+    cache = ScheduleCache()
+    g = DAG.from_edges(2, [0], [1])
+    k = schedule_key(g, p=1)
+    cache.put(k, hdagg(g, np.ones(2), 1))
+    cache.get(k)
+    cache.get("missing")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats == CacheStats(hits=0, misses=0, entries=0)

@@ -1,0 +1,89 @@
+"""Differential tests: vectorized transitive-edge mask vs the retained
+row-by-row reference (`transitive_edge_mask_reference`).
+
+The fast path answers "is edge (i, f) present in the A@A structure?" with
+one merged searchsorted pass over encoded ``row * n + col`` keys; the
+reference loops rows with ``np.isin``.  They must agree exactly on every
+input — the mask feeds the reduction that every later inspector stage
+builds on.
+"""
+
+import numpy as np
+
+from repro.graph import (
+    DAG,
+    dag_from_matrix_lower,
+    transitive_edge_mask,
+    transitive_edge_mask_reference,
+    transitive_reduction_two_hop,
+)
+from repro.sparse import lower_triangle, random_spd, symbolic_cholesky
+
+
+def _random_dag(rng, n, density):
+    src, dst = [], []
+    for j in range(1, n):
+        for i in range(j):
+            if rng.random() < density:
+                src.append(i)
+                dst.append(j)
+    return DAG.from_edges(
+        n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
+
+
+def test_mask_matches_reference_on_random_dags():
+    rng = np.random.default_rng(1234)
+    for _ in range(60):
+        n = int(rng.integers(1, 40))
+        g = _random_dag(rng, n, float(rng.uniform(0.02, 0.5)))
+        fast = transitive_edge_mask(g)
+        ref = transitive_edge_mask_reference(g)
+        assert np.array_equal(fast, ref)
+
+
+def test_mask_empty_dag():
+    g = DAG.from_edges(0, [], [])
+    assert transitive_edge_mask(g).shape == (0,)
+    g5 = DAG.from_edges(5, [], [])  # vertices, no edges
+    assert np.array_equal(transitive_edge_mask(g5), np.zeros(0, dtype=bool))
+
+
+def test_mask_single_chain():
+    g = DAG.from_edges(6, [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+    mask = transitive_edge_mask(g)
+    assert not mask.any()  # a chain has no two-hop shortcut edges
+    assert np.array_equal(mask, transitive_edge_mask_reference(g))
+
+
+def test_mask_star():
+    # star: one source feeding many sinks — no length-2 paths at all
+    n = 9
+    g = DAG.from_edges(n, [0] * (n - 1), list(range(1, n)))
+    mask = transitive_edge_mask(g)
+    assert not mask.any()
+    assert np.array_equal(mask, transitive_edge_mask_reference(g))
+
+
+def test_mask_chain_with_shortcuts():
+    # chain 0->1->2->3 plus shortcuts 0->2, 1->3: both shortcuts removable
+    g = DAG.from_edges(4, [0, 1, 2, 0, 1], [1, 2, 3, 2, 3])
+    mask = transitive_edge_mask(g)
+    assert np.array_equal(mask, transitive_edge_mask_reference(g))
+    r = transitive_reduction_two_hop(g)
+    assert r.n_edges == 3
+
+
+def test_mask_chordal_factor_reduces_to_elimination_tree():
+    # the filled Cholesky factor of an SPD pattern is chordal; its lower
+    # triangle's DAG must reduce so each vertex keeps exactly one out-edge
+    # (the elimination-tree parent), except the root
+    a = random_spd(24, 3.0, seed=5)
+    filled = symbolic_cholesky(a)
+    g = dag_from_matrix_lower(lower_triangle(filled))
+    assert np.array_equal(
+        transitive_edge_mask(g), transitive_edge_mask_reference(g)
+    )
+    r = transitive_reduction_two_hop(g)
+    out_deg = r.out_degree()
+    assert np.all(out_deg <= 1)

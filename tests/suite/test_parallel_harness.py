@@ -1,0 +1,84 @@
+"""Parallel experiment grid: pool-enabled runs must reproduce serial rows.
+
+The harness fans matrices over a fork pool when ``n_jobs > 1``; every
+metric field of every record must be identical to the serial run — only
+wall-clock timing fields (and the cache flag) may differ between modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleCache
+from repro.suite import Harness
+from repro.suite.matrices import SUITE
+from repro.suite.storage import records_from_json, records_to_json
+
+#: fields that legitimately differ between two runs of the same grid
+TIMING_FIELDS = {"inspector_seconds", "stage_seconds", "schedule_cached"}
+
+
+def _strip(record):
+    return {k: v for k, v in record.__dict__.items() if k not in TIMING_FIELDS}
+
+
+@pytest.fixture(scope="module")
+def small_specs():
+    return SUITE[:3]
+
+
+@pytest.fixture(scope="module")
+def harness_kwargs():
+    return dict(kernels=("sptrsv",), algorithms=("hdagg", "wavefront"))
+
+
+def test_parallel_rows_match_serial(small_specs, harness_kwargs):
+    serial = Harness(**harness_kwargs).run_suite(small_specs)
+    parallel = Harness(**harness_kwargs).run_suite(small_specs, n_jobs=3)
+    assert len(serial) == len(parallel) > 0
+    for a, b in zip(serial, parallel):
+        assert _strip(a) == _strip(b)
+
+
+def test_parallel_rows_serialize_identically(small_specs, harness_kwargs):
+    serial = Harness(**harness_kwargs).run_suite(small_specs)
+    parallel = Harness(**harness_kwargs).run_suite(small_specs, n_jobs=2)
+    # byte-identical JSON once timing fields are normalised away
+    for records in (serial, parallel):
+        for r in records:
+            r.inspector_seconds = 0.0
+            r.stage_seconds = {}
+            r.schedule_cached = False
+    assert records_to_json(serial) == records_to_json(parallel)
+    # and the round-trip preserves the new fields
+    back = records_from_json(records_to_json(parallel))
+    assert [r.__dict__ for r in back] == [r.__dict__ for r in parallel]
+
+
+def test_n_jobs_validation(small_specs, harness_kwargs):
+    with pytest.raises(ValueError):
+        Harness(**harness_kwargs).run_suite(small_specs, n_jobs=0)
+
+
+def test_schedule_cache_hits_on_repeat(small_specs, harness_kwargs):
+    cache = ScheduleCache()
+    h = Harness(**harness_kwargs, schedule_cache=cache)
+    first = h.run_suite(small_specs)
+    assert cache.stats.misses == len(first)
+    assert not any(r.schedule_cached for r in first)
+    second = h.run_suite(small_specs)
+    assert all(r.schedule_cached for r in second)
+    assert cache.stats.hits == len(second)
+    for a, b in zip(first, second):
+        assert _strip(a) == _strip(b)
+
+
+def test_hdagg_rows_carry_stage_timings(small_specs, harness_kwargs):
+    records = Harness(**harness_kwargs).run_suite(small_specs[:1])
+    hd = [r for r in records if r.algorithm == "hdagg"]
+    assert hd
+    for r in hd:
+        assert {"transitive_reduction", "aggregation", "lbp", "expand"} <= set(
+            r.stage_seconds
+        )
+        assert all(v >= 0.0 for v in r.stage_seconds.values())
+        assert sum(r.stage_seconds.values()) <= r.inspector_seconds * 1.5 + 1.0
