@@ -29,8 +29,16 @@ from __future__ import annotations
 
 import os
 
+from .analysis import (
+    check_trace,
+    detect_races,
+    kernel_footprint,
+    run_mutation_suite,
+    verify_dependences,
+)
 from .core import (
     DEFAULT_EPSILON,
+    DependenceWitness,
     Schedule,
     ScheduleError,
     WidthPartition,
@@ -63,6 +71,12 @@ __all__ = [
     "Schedule",
     "WidthPartition",
     "ScheduleError",
+    "DependenceWitness",
+    "verify_dependences",
+    "detect_races",
+    "kernel_footprint",
+    "check_trace",
+    "run_mutation_suite",
     "DAG",
     "compute_wavefronts",
     "transitive_reduction_two_hop",

@@ -1,0 +1,276 @@
+"""Per-iteration memory footprints derived directly from matrix structure.
+
+The dependence DAG every inspector consumes is itself *derived* — from the
+sparsity pattern, by :meth:`SparseKernel.dag`.  If that derivation is wrong
+(a dropped edge class, an off-by-one in the lower-triangle scan), every
+edge-level check downstream certifies garbage.  This module rebuilds, from
+the CSR arrays alone and independently of ``kernel.dag``, the exact sets of
+mutable memory locations each kernel iteration reads and writes:
+
+========  =========================  ==================================
+kernel    location space             iteration ``i``
+========  =========================  ==================================
+sptrsv    solution-vector slots      writes ``x[i]``; reads ``x[j]`` for
+          (``n`` locations)          every stored strictly-lower ``L[i,j]``
+spic0     value slots of the lower   writes row ``i`` of ``L``; reads all
+          factor (``nnz`` slots)     of factor row ``j`` for every stored
+                                     strictly-lower ``A[i,j]`` (the
+                                     prefix dot plus the diagonal pivot)
+spilu0    value slots of the full    writes row ``i``; reads the diagonal
+          pattern (``nnz`` slots)    and strict-upper slots of row ``k``
+                                     for every stored ``A[i,k]``, k < i
+========  =========================  ==================================
+
+Static read-only state (the numeric values of ``b``, the input matrix
+entries for SpTRSV) is excluded: read/read sharing can never race.
+
+:func:`implied_dag` recovers the loop-carried dependence DAG from the
+footprints alone, which gives the cross-check that catches a buggy
+``kernel.dag`` construction: the race detector (:mod:`repro.analysis.races`)
+uses footprints, the schedule was built from ``kernel.dag`` — any
+disagreement between the two surfaces as a same-wavefront conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE
+from ..sparse.triangular import lower_triangle
+
+__all__ = [
+    "Footprint",
+    "sptrsv_footprint",
+    "spic0_footprint",
+    "spilu0_footprint",
+    "kernel_footprint",
+    "implied_dag",
+    "FOOTPRINTS",
+]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Ragged-CSR read/write sets over an abstract location space.
+
+    Iteration ``i`` reads ``read_loc[read_ptr[i]:read_ptr[i+1]]`` and writes
+    ``write_loc[write_ptr[i]:write_ptr[i+1]]``.  Location ids are dense in
+    ``[0, n_locations)``; what a location *is* (a vector slot, a stored
+    factor entry) is kernel-specific and irrelevant to the race analysis.
+    """
+
+    n: int
+    n_locations: int
+    read_ptr: np.ndarray
+    read_loc: np.ndarray
+    write_ptr: np.ndarray
+    write_loc: np.ndarray
+
+    def __post_init__(self) -> None:
+        for ptr, loc in ((self.read_ptr, self.read_loc), (self.write_ptr, self.write_loc)):
+            if ptr.shape[0] != self.n + 1 or int(ptr[-1]) != loc.shape[0]:
+                raise ValueError("footprint CSR arrays are inconsistent")
+        if self.read_loc.size and (
+            int(self.read_loc.min()) < 0 or int(self.read_loc.max()) >= self.n_locations
+        ):
+            raise ValueError("read location out of range")
+        if self.write_loc.size and (
+            int(self.write_loc.min()) < 0 or int(self.write_loc.max()) >= self.n_locations
+        ):
+            raise ValueError("write location out of range")
+
+    @property
+    def n_accesses(self) -> int:
+        """Total recorded reads + writes."""
+        return int(self.read_loc.shape[0] + self.write_loc.shape[0])
+
+    def reads(self, i: int) -> np.ndarray:
+        return self.read_loc[self.read_ptr[i] : self.read_ptr[i + 1]]
+
+    def writes(self, i: int) -> np.ndarray:
+        return self.write_loc[self.write_ptr[i] : self.write_ptr[i + 1]]
+
+
+def _ragged(counts: np.ndarray) -> tuple:
+    """CSR pointer plus (repeat-starts, within-offset) expansion helpers."""
+    ptr = np.zeros(counts.shape[0] + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=ptr[1:])
+    total = int(ptr[-1])
+    if total == 0:
+        return ptr, np.empty(0, dtype=INDEX_DTYPE)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(cum - counts, counts)
+    return ptr, within
+
+
+def _strict_lower_pairs(a: CSRMatrix) -> tuple:
+    """(row, col) arrays of the stored strictly-lower entries of ``a``."""
+    row_of = np.repeat(np.arange(a.n_rows, dtype=INDEX_DTYPE), a.row_nnz())
+    strict = a.indices < row_of
+    return row_of[strict], a.indices[strict]
+
+
+def sptrsv_footprint(low: CSRMatrix) -> Footprint:
+    """Forward-substitution footprint over the ``x``-vector slots.
+
+    ``low`` is the lower-triangular operand (the same matrix handed to
+    :meth:`SpTRSV.dag`).  O(nnz).
+    """
+    n = low.n_rows
+    rows, cols = _strict_lower_pairs(low)
+    read_counts = np.bincount(rows, minlength=n).astype(INDEX_DTYPE)
+    read_ptr, _ = _ragged(read_counts)
+    # strict-lower entries are already grouped by row in CSR order
+    read_loc = cols.astype(INDEX_DTYPE, copy=True)
+    write_ptr = np.arange(n + 1, dtype=INDEX_DTYPE)
+    write_loc = np.arange(n, dtype=INDEX_DTYPE)
+    return Footprint(
+        n=n,
+        n_locations=n,
+        read_ptr=read_ptr,
+        read_loc=read_loc,
+        write_ptr=write_ptr,
+        write_loc=write_loc,
+    )
+
+
+def _factor_row_footprint(
+    low: CSRMatrix, dep_starts: np.ndarray, dep_counts: np.ndarray, dep_rows_of: np.ndarray
+) -> Footprint:
+    """Shared shape for the factorisation kernels.
+
+    Iteration ``i`` writes every stored slot of its own row and reads the
+    slot range ``[dep_starts[d], dep_starts[d] + dep_counts[d])`` for each
+    dependence ``d`` whose consuming row is ``dep_rows_of[d]``.
+    """
+    n = low.n_rows
+    nnz = low.nnz
+    # writes: own row slots
+    write_counts = low.row_nnz().astype(INDEX_DTYPE)
+    write_ptr, w_within = _ragged(write_counts)
+    write_loc = np.repeat(low.indptr[:-1].astype(INDEX_DTYPE), write_counts) + w_within
+    # reads: dependence-row slot ranges, grouped by consuming row
+    read_counts = np.zeros(n, dtype=INDEX_DTYPE)
+    np.add.at(read_counts, dep_rows_of, dep_counts)
+    read_ptr, _ = _ragged(read_counts)
+    _, r_within = _ragged(dep_counts)
+    read_loc = np.repeat(dep_starts, dep_counts) + r_within
+    return Footprint(
+        n=n,
+        n_locations=nnz,
+        read_ptr=read_ptr,
+        read_loc=read_loc.astype(INDEX_DTYPE),
+        write_ptr=write_ptr,
+        write_loc=write_loc.astype(INDEX_DTYPE),
+    )
+
+
+def spic0_footprint(a: CSRMatrix) -> Footprint:
+    """IC(0) footprint over the value slots of the lower factor storage.
+
+    Factoring row ``i`` reads, for every stored strictly-lower ``A[i, j]``,
+    the whole factor row ``j`` (sparse prefix dot over columns ``< j`` plus
+    the diagonal pivot ``L[j, j]``), and overwrites row ``i``'s slots.
+    Accepts the full SPD matrix (the kernel's own operand convention) or an
+    already-lower-triangular matrix.  O(nnz).
+    """
+    low = lower_triangle(a)
+    rows, cols = _strict_lower_pairs(low)
+    dep_starts = low.indptr[cols].astype(INDEX_DTYPE)
+    dep_counts = (low.indptr[cols + 1] - low.indptr[cols]).astype(INDEX_DTYPE)
+    return _factor_row_footprint(low, dep_starts, dep_counts, rows)
+
+
+def spilu0_footprint(a: CSRMatrix) -> Footprint:
+    """ILU(0) footprint over the value slots of the full in-place pattern.
+
+    Eliminating row ``i`` reads, for every stored ``A[i, k]`` with
+    ``k < i``, the diagonal and strict-upper slots of row ``k``, and
+    writes row ``i``'s slots.  O(nnz log max-row) for the diagonal search.
+    """
+    n = a.n_rows
+    row_of = np.repeat(np.arange(n, dtype=INDEX_DTYPE), a.row_nnz())
+    diag_flat = np.nonzero(a.indices == row_of)[0]
+    if diag_flat.shape[0] != n:
+        raise ValueError("spilu0 footprint requires a full diagonal")
+    rows, cols = _strict_lower_pairs(a)
+    dep_starts = diag_flat[cols].astype(INDEX_DTYPE)
+    dep_counts = (a.indptr[cols + 1] - dep_starts).astype(INDEX_DTYPE)
+    return _factor_row_footprint(a, dep_starts, dep_counts, rows)
+
+
+#: kernel name -> footprint builder over the kernel's operand matrix.
+FOOTPRINTS: Dict[str, Callable[[CSRMatrix], Footprint]] = {
+    "sptrsv": sptrsv_footprint,
+    "spic0": spic0_footprint,
+    "spilu0": spilu0_footprint,
+}
+
+
+def kernel_footprint(kernel_name: str, operand: CSRMatrix) -> Footprint:
+    """Footprint for a registered kernel; ``KeyError`` lists the choices."""
+    try:
+        builder = FOOTPRINTS[kernel_name]
+    except KeyError:
+        raise KeyError(
+            f"no footprint model for kernel {kernel_name!r}; available: {sorted(FOOTPRINTS)}"
+        ) from None
+    return builder(operand)
+
+
+def implied_dag(fp: Footprint) -> DAG:
+    """The dependence DAG the footprints imply under iteration-id order.
+
+    For the id-topological kernels here (iteration order is a topological
+    order), iteration ``u < v`` must be ordered iff their footprints
+    conflict: one writes a location the other touches.  Useful as an
+    independent cross-check of ``kernel.dag`` — the two must agree up to
+    transitive edges.
+    """
+    # accesses as (location, iteration, is_write)
+    loc = np.concatenate([fp.read_loc, fp.write_loc])
+    it = np.concatenate(
+        [
+            np.repeat(np.arange(fp.n, dtype=INDEX_DTYPE), np.diff(fp.read_ptr)),
+            np.repeat(np.arange(fp.n, dtype=INDEX_DTYPE), np.diff(fp.write_ptr)),
+        ]
+    )
+    isw = np.concatenate(
+        [np.zeros(fp.read_loc.shape[0], dtype=bool), np.ones(fp.write_loc.shape[0], dtype=bool)]
+    )
+    order = np.lexsort((it, loc))
+    loc, it, isw = loc[order], it[order], isw[order]
+    src_parts = []
+    dst_parts = []
+    # within one location, accesses sorted by iteration id: every pair
+    # (write, later access) and (access, later write) is an edge; it is
+    # enough to link consecutive accesses through the most recent writer
+    # and each reader to the next writer, transitivity covers the rest.
+    boundaries = np.nonzero(np.diff(loc))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [loc.shape[0]]])
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        last_writer = -1
+        pending_readers: list = []
+        for k in range(s, e):
+            i = int(it[k])
+            if isw[k]:
+                if last_writer >= 0 and last_writer != i:
+                    src_parts.append(last_writer)
+                    dst_parts.append(i)
+                for r in pending_readers:
+                    if r != i:
+                        src_parts.append(r)
+                        dst_parts.append(i)
+                pending_readers = []
+                last_writer = i
+            else:
+                if last_writer >= 0 and last_writer != i:
+                    src_parts.append(last_writer)
+                    dst_parts.append(i)
+                pending_readers.append(i)
+    return DAG.from_edges(fp.n, src_parts, dst_parts)

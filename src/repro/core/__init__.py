@@ -7,7 +7,13 @@ from .hdagg import expand_lbp_to_schedule, hdagg
 from .inspector import HDaggInspector
 from .lbp import CoarsenedWavefront, LBPDecision, LBPResult, lbp_coarsen
 from .pgp import DEFAULT_EPSILON, accumulated_pgp, pgp, pgp_worst_case
-from .schedule import Schedule, ScheduleError, WidthPartition
+from .schedule import (
+    DependenceWitness,
+    Schedule,
+    ScheduleError,
+    WidthPartition,
+    dependence_witnesses,
+)
 from .schedule_cache import CacheStats, ScheduleCache, schedule_key
 from .verify import VerificationReport, verify_schedule
 
@@ -32,6 +38,8 @@ __all__ = [
     "DEFAULT_EPSILON",
     "Schedule",
     "ScheduleError",
+    "DependenceWitness",
+    "dependence_witnesses",
     "ScheduleCache",
     "CacheStats",
     "schedule_key",

@@ -21,14 +21,20 @@ The same container also represents the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from ..graph.dag import DAG
 from ..sparse.csr import INDEX_DTYPE
 
-__all__ = ["WidthPartition", "Schedule", "ScheduleError"]
+__all__ = [
+    "WidthPartition",
+    "Schedule",
+    "ScheduleError",
+    "DependenceWitness",
+    "dependence_witnesses",
+]
 
 
 def _json_safe(v) -> bool:
@@ -41,7 +47,100 @@ def _json_safe(v) -> bool:
 
 
 class ScheduleError(ValueError):
-    """Raised when a schedule violates its structural or dependence invariants."""
+    """Raised when a schedule violates its structural or dependence invariants.
+
+    ``witness`` carries the first :class:`DependenceWitness` when the failure
+    is a dependence-ordering violation, ``None`` for structural failures —
+    callers (the static verifier, the harness, CI tooling) read it instead of
+    parsing the message.
+    """
+
+    def __init__(self, message: str, *, witness: "Optional[DependenceWitness]" = None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+@dataclass(frozen=True)
+class DependenceWitness:
+    """A minimal counterexample to schedule safety: one mis-ordered DAG edge.
+
+    The edge ``src -> dst`` requires ``src`` to finish before ``dst`` starts,
+    but the schedule places them so that neither ``level[src] < level[dst]``
+    nor "same width-partition with ``src`` positioned earlier" holds.  All
+    schedule coordinates of both endpoints are included so the producing
+    inspector's bug is localisable without re-deriving anything.
+    """
+
+    src: int
+    dst: int
+    src_level: int
+    dst_level: int
+    src_partition: int
+    dst_partition: int
+    src_position: int
+    dst_position: int
+
+    def describe(self) -> str:
+        """One-line human-readable account of the violation."""
+        return (
+            f"dependence violated: edge {self.src} -> {self.dst} "
+            f"(levels {self.src_level} -> {self.dst_level}, "
+            f"partitions {self.src_partition} -> {self.dst_partition}, "
+            f"positions {self.src_position} -> {self.dst_position})"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for reports and the ``analyze`` CLI."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "src_level": self.src_level,
+            "dst_level": self.dst_level,
+            "src_partition": self.src_partition,
+            "dst_partition": self.dst_partition,
+            "src_position": self.src_position,
+            "dst_position": self.dst_position,
+        }
+
+
+def dependence_witnesses(
+    level: np.ndarray,
+    pid: np.ndarray,
+    pos: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    max_witnesses: int = 1,
+) -> List[DependenceWitness]:
+    """Mis-ordered edges among ``src -> dst`` under the schedule coordinates.
+
+    An edge is safely ordered iff ``level[src] < level[dst]`` or the two
+    endpoints share a width-partition with ``src`` positioned earlier.  The
+    returned witnesses are sorted to make the *minimal* counterexample first:
+    ascending destination level, then source/destination ids — so the
+    earliest point in the execution where the schedule goes wrong leads.
+    Both :meth:`Schedule.validate` and the static verifier in
+    :mod:`repro.analysis.verifier` report through this single predicate.
+    """
+    ok = (level[src] < level[dst]) | ((pid[src] == pid[dst]) & (pos[src] < pos[dst]))
+    bad = np.nonzero(~ok)[0]
+    if bad.shape[0] == 0:
+        return []
+    order = np.lexsort((dst[bad], src[bad], level[dst[bad]]))
+    picked = bad[order[:max_witnesses]]
+    return [
+        DependenceWitness(
+            src=int(src[e]),
+            dst=int(dst[e]),
+            src_level=int(level[src[e]]),
+            dst_level=int(level[dst[e]]),
+            src_partition=int(pid[src[e]]),
+            dst_partition=int(pid[dst[e]]),
+            src_position=int(pos[src[e]]),
+            dst_position=int(pos[dst[e]]),
+        )
+        for e in picked
+    ]
 
 
 @dataclass(frozen=True)
@@ -239,13 +338,9 @@ class Schedule:
         pid = self.partition_of()
         pos = self.position_of()
         src, dst = g.edge_list()
-        ok = (level[src] < level[dst]) | ((pid[src] == pid[dst]) & (pos[src] < pos[dst]))
-        if not np.all(ok):
-            bad = int(np.nonzero(~ok)[0][0])
-            raise ScheduleError(
-                f"dependence violated: edge {int(src[bad])} -> {int(dst[bad])} "
-                f"(levels {int(level[src[bad]])} -> {int(level[dst[bad]])})"
-            )
+        witnesses = dependence_witnesses(level, pid, pos, src, dst, max_witnesses=1)
+        if witnesses:
+            raise ScheduleError(witnesses[0].describe(), witness=witnesses[0])
 
     def summary(self, vertex_cost: np.ndarray | None = None) -> dict:
         """Shape statistics used by reports and tests."""

@@ -14,25 +14,61 @@ point-to-point synchronisation; the barrier path mirrors the wavefront /
 HDagg executors.  Any kernel-level dependence violation would surface as a
 read of a not-yet-written value and fail the numeric comparison in tests;
 additionally each vertex's dependences are checked against the flags.
+
+Failures carry context: :class:`ThreadedExecutionError` names the core and
+vertex (and, for dependence problems, the unmet dependence) so a refuted
+run is debuggable without re-execution.  A p2p spin that stops making
+global progress raises a *deadlock* error naming the stuck (core, vertex,
+dependence) triple instead of hanging the process.
+
+Passing ``trace=`` (any object with a ``record(kind, core, arg)`` method,
+canonically :class:`repro.analysis.tracecheck.TraceRecorder`) records the
+happens-before event log — ``exec`` before the completion flag is
+published, ``acquire`` after a p2p spin observes a flag, ``barrier`` after
+each wavefront barrier — which
+:func:`repro.analysis.tracecheck.check_trace` replays through vector
+clocks to certify the ordering of the run itself.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, List
+import time
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..sparse.csr import INDEX_DTYPE
 from .simulator import bind_dynamic_partitions
 
 __all__ = ["run_threaded", "ThreadedExecutionError"]
 
+#: p2p spins between global-progress probes (keeps ``done.sum()`` off the
+#: hot path while bounding deadlock-detection latency).
+_PROBE_INTERVAL = 256
+
 
 class ThreadedExecutionError(RuntimeError):
-    """A worker observed a dependence violation or a peer failure."""
+    """A worker observed a dependence violation, deadlock, or peer failure.
+
+    Attributes ``core``, ``vertex``, and ``dependence`` locate the failure
+    (``None``/``-1`` where not applicable) so callers — the trace checker,
+    CI harnesses — can report without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        core: Optional[int] = None,
+        vertex: Optional[int] = None,
+        dependence: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.core = core
+        self.vertex = vertex
+        self.dependence = dependence
 
 
 def run_threaded(
@@ -42,6 +78,8 @@ def run_threaded(
     *,
     cost: np.ndarray | None = None,
     spin_yield: bool = True,
+    deadlock_timeout: float = 30.0,
+    trace=None,
 ) -> None:
     """Execute ``process_vertex(v)`` for every vertex under the schedule.
 
@@ -50,9 +88,11 @@ def run_threaded(
     owned by dependences.  Dynamic (core = -1) partitions are bound first
     (requires ``cost``; unit costs assumed otherwise).
 
-    Raises :class:`ThreadedExecutionError` if any worker observes an
-    unsatisfied dependence (which would indicate an invalid schedule) or if
-    a worker raises.
+    Raises :class:`ThreadedExecutionError` — carrying the (core, vertex,
+    dependence) context — if any worker observes an unsatisfied dependence,
+    a p2p spin makes no global progress for ``deadlock_timeout`` seconds
+    (an invalid p2p schedule would otherwise hang forever), or a worker
+    raises.
     """
     if cost is None:
         cost = np.ones(schedule.n, dtype=np.float64)
@@ -61,7 +101,8 @@ def run_threaded(
     p = max(p, 1)
 
     done = np.zeros(schedule.n, dtype=bool)
-    errors: List[BaseException] = []
+    #: (core, vertex, exception) triples collected from failed workers
+    errors: List[Tuple[int, int, BaseException]] = []
     errors_lock = threading.Lock()
     barrier = threading.Barrier(p)
     in_ptr, in_idx = g.in_ptr, g.in_idx
@@ -75,7 +116,7 @@ def run_threaded(
         for part in level:
             plan[k][part.core % p].append(part.vertices)
 
-    def wait_for(v: int) -> None:
+    def wait_for(v: int, core: int) -> None:
         deps = in_idx[in_ptr[v] : in_ptr[v + 1]]
         for u in deps:
             if use_barrier:
@@ -83,28 +124,63 @@ def run_threaded(
                 # else is a schedule bug, not a timing matter
                 if not done[u]:
                     raise ThreadedExecutionError(
-                        f"vertex {v} scheduled before dependence {int(u)}"
+                        f"core {core}: vertex {v} scheduled before dependence {int(u)}",
+                        core=core,
+                        vertex=v,
+                        dependence=int(u),
                     )
             else:
+                spins = 0
+                stall_t0 = time.monotonic()
+                stall_done = -1
                 while not done[u]:  # SpMP-style spin on the flag
                     if errors:
-                        raise ThreadedExecutionError("peer worker failed")
+                        raise ThreadedExecutionError(
+                            f"core {core}: aborting vertex {v}, a peer worker failed",
+                            core=core,
+                            vertex=v,
+                        )
+                    spins += 1
+                    if spins % _PROBE_INTERVAL == 0:
+                        finished = int(done.sum())
+                        now = time.monotonic()
+                        if finished != stall_done:
+                            stall_done, stall_t0 = finished, now
+                        elif now - stall_t0 > deadlock_timeout:
+                            raise ThreadedExecutionError(
+                                f"deadlock: core {core} spent {deadlock_timeout:.1f}s "
+                                f"waiting on dependence {int(u)} of vertex {v} "
+                                f"({finished}/{schedule.n} vertices done)",
+                                core=core,
+                                vertex=v,
+                                dependence=int(u),
+                            )
                     if spin_yield:
                         threading.Event().wait(0)  # yield
+                if trace is not None:
+                    trace.record("acquire", core, int(u))
 
     def worker(core: int) -> None:
+        current = -1
         try:
             for k in range(len(plan)):
                 for vertices in plan[k][core]:
                     for v in vertices.tolist():
-                        wait_for(v)
+                        current = v
+                        wait_for(v, core)
                         process_vertex(v)
+                        if trace is not None:
+                            # exec is recorded before the flag is published so
+                            # any observed flag implies a logged exec event
+                            trace.record("exec", core, v)
                         done[v] = True
                 if use_barrier:
                     barrier.wait()
+                    if trace is not None:
+                        trace.record("barrier", core, k)
         except BaseException as exc:  # propagate to the caller
             with errors_lock:
-                errors.append(exc)
+                errors.append((core, current, exc))
             if use_barrier:
                 barrier.abort()
 
@@ -114,13 +190,23 @@ def run_threaded(
     for t in threads:
         t.join()
     if errors:
-        first = errors[0]
+        core, vertex, first = errors[0]
         if isinstance(first, threading.BrokenBarrierError):
-            first = next(
-                (e for e in errors if not isinstance(e, threading.BrokenBarrierError)),
-                first,
+            core, vertex, first = next(
+                (
+                    (c, v, e)
+                    for c, v, e in errors
+                    if not isinstance(e, threading.BrokenBarrierError)
+                ),
+                errors[0],
             )
-        raise ThreadedExecutionError(str(first)) from first
+        if isinstance(first, ThreadedExecutionError):
+            raise first
+        raise ThreadedExecutionError(
+            f"core {core} failed at vertex {vertex}: {first}",
+            core=core,
+            vertex=vertex,
+        ) from first
     if not bool(done.all()):
         missing = np.nonzero(~done)[0][:5].tolist()
         raise ThreadedExecutionError(f"vertices never executed: {missing}")

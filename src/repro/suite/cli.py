@@ -103,6 +103,11 @@ def run_experiment(records, name: str) -> str:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        from ..analysis.cli import analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for s in SUITE:

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.verifier import assert_schedule_safe
 from ..core.pgp import DEFAULT_EPSILON, accumulated_pgp
 from ..core.schedule_cache import ScheduleCache, schedule_key
 from ..kernels import KERNELS
@@ -223,7 +224,10 @@ class Harness:
                     if key is not None and cached is None:
                         self.schedule_cache.put(key, schedule)
                     if self.validate and cached is None:
-                        schedule.validate(g)
+                        # structural check + dependence witness extraction;
+                        # stamps "verify" into meta["stage_seconds"] so the
+                        # verifier cost lands in RunRecord.stage_seconds
+                        assert_schedule_safe(schedule, g)
                     sim = simulate(schedule, g, cost, memory, machine)
                     serial = serial_results[machine.name]
                     insp_cycles = inspector_cost_model(algo, g, schedule)

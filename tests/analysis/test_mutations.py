@@ -1,0 +1,112 @@
+"""Mutation harness: every injected schedule bug must be caught (100% kill)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MUTATIONS, apply_mutation, kernel_footprint, run_mutation_suite
+from repro.analysis.races import detect_races
+from repro.analysis.verifier import verify_dependences
+from repro.kernels import KERNELS
+from repro.schedulers import SCHEDULERS
+from repro.sparse import lower_triangle
+
+ALGOS = ("hdagg", "wavefront", "spmp", "lbc", "dagp", "coarsenk")
+
+
+def _setup(kname, matrix):
+    kernel = KERNELS[kname]
+    operand = lower_triangle(matrix) if kname == "sptrsv" else matrix
+    g = kernel.dag(operand)
+    return g, kernel.cost(operand), kernel_footprint(kname, operand)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("kname", ["sptrsv", "spic0", "spilu0"])
+def test_zero_escaped_mutants(algo, kname, mesh_nd):
+    g, cost, fp = _setup(kname, mesh_nd)
+    s = SCHEDULERS[algo](g, cost, 4)
+    results = run_mutation_suite(s, g, fp)
+    assert {r.name for r in results} == set(MUTATIONS)
+    escaped = [r.name for r in results if r.escaped]
+    assert not escaped, f"mutations escaped detection: {escaped}"
+    # the kill rate only counts applicable mutants, and some must apply
+    assert any(r.applied for r in results)
+    for r in results:
+        if r.caught:
+            assert r.caught_by and r.detail
+
+
+def test_every_mutation_class_applies_somewhere(mesh_nd, irregular):
+    applied = set()
+    for matrix in (mesh_nd, irregular):
+        for algo in ALGOS:
+            g, cost, fp = _setup("sptrsv", matrix)
+            for r in run_mutation_suite(SCHEDULERS[algo](g, cost, 4), g, fp):
+                if r.applied:
+                    applied.add(r.name)
+    assert applied == set(MUTATIONS)
+
+
+def test_mutants_stay_structurally_valid(mesh_nd):
+    """Mutants must only be catchable by the dependence analyses."""
+    g, cost, _ = _setup("sptrsv", mesh_nd)
+    s = SCHEDULERS["hdagg"](g, cost, 4)
+    for name in sorted(MUTATIONS):
+        mutant = apply_mutation(name, s, g)
+        if mutant is None:
+            continue
+        mutant.validate(g, check_dependences=False)  # must not raise
+        assert mutant.algorithm.endswith(name)
+        assert mutant.meta["mutation"] == name
+
+
+def test_reorder_within_partition_needs_the_verifier(mesh_nd):
+    """The race detector is blind to intra-partition order by design."""
+    g, cost, fp = _setup("sptrsv", mesh_nd)
+    s = SCHEDULERS["hdagg"](g, cost, 4)
+    mutant = apply_mutation("reorder_within_partition", s, g)
+    assert mutant is not None
+    assert not verify_dependences(mutant, g, stamp_meta=False).ok
+    assert detect_races(mutant, fp, stamp_meta=False).ok
+
+
+@pytest.mark.parametrize("name", ["drop_barrier", "merge_adjacent_wavefronts"])
+def test_lost_synchronisation_is_also_a_race(name, mesh_nd):
+    """Fused wavefronts surface in *both* analyses: a cross-partition edge
+    in one wavefront is a mis-ordered dependence and a footprint conflict."""
+    g, cost, fp = _setup("spic0", mesh_nd)
+    s = SCHEDULERS["hdagg"](g, cost, 4)
+    mutant = apply_mutation(name, s, g)
+    assert mutant is not None
+    assert not verify_dependences(mutant, g, stamp_meta=False).ok
+    assert not detect_races(mutant, fp, stamp_meta=False).ok
+
+
+def test_swap_across_dependence_reverses_an_edge(mesh_nd):
+    g, cost, _ = _setup("sptrsv", mesh_nd)
+    s = SCHEDULERS["wavefront"](g, cost, 4)
+    mutant = apply_mutation("swap_across_dependence", s, g)
+    assert mutant is not None
+    report = verify_dependences(mutant, g, stamp_meta=False)
+    assert not report.ok and report.n_violations >= 1
+
+
+def test_mutations_deterministic_per_seed(mesh_nd):
+    g, cost, _ = _setup("sptrsv", mesh_nd)
+    s = SCHEDULERS["hdagg"](g, cost, 4)
+    a = apply_mutation("drop_barrier", s, g, seed=7)
+    b = apply_mutation("drop_barrier", s, g, seed=7)
+    assert a is not None and b is not None
+    assert np.array_equal(a.level_of(), b.level_of())
+    assert np.array_equal(a.partition_of(), b.partition_of())
+
+
+def test_serial_schedule_only_reorder_applies(mesh_nd):
+    """One partition, one level: no cross-partition structure to mutate."""
+    g, cost, fp = _setup("sptrsv", mesh_nd)
+    s = SCHEDULERS["serial"](g, cost, 1)
+    results = {r.name: r for r in run_mutation_suite(s, g, fp)}
+    assert results["reorder_within_partition"].applied
+    assert results["reorder_within_partition"].caught
+    for name in ("swap_across_dependence", "drop_barrier", "merge_adjacent_wavefronts"):
+        assert not results[name].applied

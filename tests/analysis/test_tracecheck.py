@@ -1,0 +1,118 @@
+"""Vector-clock replay of executor traces: hand logs and real runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TraceRecorder, check_trace
+from repro.graph import DAG, dag_from_matrix_lower
+from repro.kernels import KERNELS
+from repro.runtime import run_threaded
+from repro.schedulers import SCHEDULERS
+from repro.sparse import lower_triangle
+
+
+@pytest.fixture(scope="module")
+def edge_dag():
+    return DAG.from_edges(2, [0], [1])
+
+
+def test_clean_p2p_trace(edge_dag):
+    events = [(0, "exec", 0, 0), (1, "acquire", 1, 0), (2, "exec", 1, 1)]
+    report = check_trace(events, edge_dag)
+    assert report.ok and report.n_executed == 2
+    assert "clean" in report.describe()
+
+
+def test_clean_barrier_trace(edge_dag):
+    events = [
+        (0, "exec", 0, 0),
+        (1, "barrier", 0, 0),
+        (2, "barrier", 1, 0),
+        (3, "exec", 1, 1),
+    ]
+    assert check_trace(events, edge_dag).ok
+
+
+def test_unsynchronised_dependence_flagged(edge_dag):
+    # both executed, no acquire and no barrier: nothing orders 0 before 1
+    events = [(0, "exec", 0, 0), (1, "exec", 1, 1)]
+    report = check_trace(events, edge_dag)
+    assert not report.ok
+    kinds = {v.kind for v in report.violations}
+    assert "unordered-dependence" in kinds
+    v = next(v for v in report.violations if v.kind == "unordered-dependence")
+    assert (v.vertex, v.dependence) == (1, 0)
+    assert "happens-before" in v.describe()
+
+
+def test_same_core_program_order_suffices(edge_dag):
+    # no explicit sync needed when producer and consumer share a core
+    events = [(0, "exec", 0, 0), (1, "exec", 0, 1)]
+    assert check_trace(events, edge_dag).ok
+
+
+def test_missing_dependence_flagged(edge_dag):
+    events = [(0, "exec", 1, 1), (1, "exec", 0, 0)]
+    report = check_trace(events, edge_dag)
+    assert not report.ok
+    assert any(v.kind == "missing-dependence" for v in report.violations)
+
+
+def test_duplicate_exec_flagged(edge_dag):
+    events = [(0, "exec", 0, 0), (1, "exec", 1, 0), (2, "acquire", 1, 0), (3, "exec", 1, 1)]
+    report = check_trace(events, edge_dag)
+    assert any(v.kind == "duplicate-exec" and v.vertex == 0 for v in report.violations)
+
+
+def test_never_executed_flagged(edge_dag):
+    report = check_trace([(0, "exec", 0, 0)], edge_dag)
+    assert any(v.kind == "never-executed" and v.vertex == 1 for v in report.violations)
+    assert check_trace([(0, "exec", 0, 0)], edge_dag, expect_all=False).ok
+
+
+def test_acquire_before_exec_flagged(edge_dag):
+    events = [(0, "acquire", 1, 0), (1, "exec", 0, 0), (2, "exec", 1, 1)]
+    report = check_trace(events, edge_dag)
+    assert any(v.kind == "acquire-before-exec" for v in report.violations)
+
+
+def test_barrier_mismatch_flagged(edge_dag):
+    events = [(0, "exec", 0, 0), (1, "barrier", 0, 0), (2, "exec", 1, 1)]
+    report = check_trace(events, edge_dag)
+    assert any(v.kind == "barrier-mismatch" for v in report.violations)
+
+
+def test_empty_trace_on_empty_dag():
+    assert check_trace([], DAG.from_edges(0, [], [])).ok
+
+
+def test_max_violations_caps_output():
+    g = DAG.from_edges(6, [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+    # execute everything in reverse on alternating cores, no sync at all
+    events = [(i, "exec", i % 2, 5 - i) for i in range(6)]
+    report = check_trace(events, g, max_violations=2)
+    assert not report.ok and len(report.violations) == 2
+
+
+@pytest.mark.parametrize("algo", ["hdagg", "wavefront", "spmp", "lbc"])
+def test_real_threaded_runs_replay_clean(algo, mesh_nd, rng):
+    kernel = KERNELS["sptrsv"]
+    low = lower_triangle(mesh_nd)
+    g = kernel.dag(low)
+    cost = kernel.cost(low)
+    s = SCHEDULERS[algo](g, cost, 4)
+    rec = TraceRecorder()
+    run_threaded(s, g, lambda v: None, cost=cost, trace=rec, deadlock_timeout=15.0)
+    report = check_trace(rec.events, g)
+    assert report.ok, report.describe()
+    assert report.n_executed == g.n
+    assert len(rec) == report.n_events
+
+
+def test_recorder_sequences_are_unique_and_monotone(mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    s = SCHEDULERS["hdagg"](g, np.ones(g.n), 4)
+    rec = TraceRecorder()
+    run_threaded(s, g, lambda v: None, trace=rec)
+    seqs = [e[0] for e in rec.events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)

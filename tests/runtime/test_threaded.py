@@ -94,6 +94,68 @@ def test_p2p_spin_path(mesh_nd, rng):
     np.testing.assert_allclose(x, kernel.reference(low, b), rtol=1e-10)
 
 
+def test_barrier_violation_carries_context():
+    g = DAG.from_edges(2, [0], [1])
+    s = Schedule(
+        n=2,
+        levels=[[WidthPartition(0, np.array([1])), WidthPartition(1, np.array([0]))]],
+        sync="barrier",
+        algorithm="bad",
+        n_cores=2,
+    )
+    with pytest.raises(ThreadedExecutionError) as exc_info:
+        run_threaded(s, g, lambda v: None)
+    exc = exc_info.value
+    assert exc.vertex == 1 and exc.dependence == 0 and exc.core is not None
+
+
+def test_p2p_deadlock_detected_with_context():
+    # vertex 1 spins on dependence 0, which is never scheduled: without
+    # deadlock detection this would hang forever
+    g = DAG.from_edges(2, [0], [1])
+    s = Schedule(
+        n=2,
+        levels=[[WidthPartition(0, np.array([1]))]],
+        sync="p2p",
+        algorithm="bad",
+        n_cores=1,
+    )
+    with pytest.raises(ThreadedExecutionError, match="deadlock") as exc_info:
+        run_threaded(s, g, lambda v: None, deadlock_timeout=0.3)
+    exc = exc_info.value
+    assert (exc.core, exc.vertex, exc.dependence) == (0, 1, 0)
+
+
+def test_worker_exception_carries_core_and_vertex(mesh_nd):
+    g = dag_from_matrix_lower(mesh_nd)
+    s = SCHEDULERS["wavefront"](g, np.ones(g.n), 4)
+
+    def process(v: int) -> None:
+        if v == 10:
+            raise ValueError("boom")
+
+    with pytest.raises(ThreadedExecutionError, match="core \\d+ failed at vertex 10") as ei:
+        run_threaded(s, g, process)
+    assert ei.value.vertex == 10 and ei.value.core is not None
+    assert isinstance(ei.value.__cause__, ValueError)
+
+
+@pytest.mark.parametrize("algo", ["hdagg", "spmp"])
+def test_trace_hook_records_every_vertex(algo, mesh_nd):
+    from repro.analysis import TraceRecorder
+
+    g = dag_from_matrix_lower(mesh_nd)
+    s = SCHEDULERS[algo](g, np.ones(g.n), 3)
+    rec = TraceRecorder()
+    run_threaded(s, g, lambda v: None, trace=rec, deadlock_timeout=15.0)
+    execs = sorted(a for _, kind, _, a in rec.events if kind == "exec")
+    assert execs == list(range(g.n))
+    if s.sync == "barrier":
+        assert sum(1 for e in rec.events if e[1] == "barrier") > 0
+    else:
+        assert any(e[1] == "acquire" for e in rec.events)
+
+
 def test_fine_grained_schedule_bound_first(mesh_nd):
     from repro.core import hdagg
 
