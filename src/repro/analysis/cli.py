@@ -87,7 +87,17 @@ def analyze_grid(
     """
     rows: List[Dict] = []
     for spec in specs:
-        ordered, _ = apply_ordering(spec.build(), ordering)
+        t_prep = time.perf_counter()
+        try:
+            ordered, _ = apply_ordering(spec.build(), ordering)
+        except Exception as exc:
+            # a broken matrix must not kill the rest of the grid: emit one
+            # structured error row and move on
+            row = _error_row(spec.name, "*", "*", exc, time.perf_counter() - t_prep)
+            rows.append(row)
+            if progress is not None:
+                progress(row)
+            continue
         for kname in kernels:
             if kname not in FOOTPRINTS:
                 raise KeyError(f"kernel {kname!r} has no footprint model")
@@ -98,42 +108,62 @@ def analyze_grid(
             fp = kernel_footprint(kname, operand)
             for algo in _schedulers_for(schedulers, kname):
                 t0 = time.perf_counter()
-                kwargs = {}
-                if epsilon is not None and algo in ("hdagg", "lbc"):
-                    kwargs["epsilon"] = epsilon
-                schedule = SCHEDULERS[algo](g, cost, cores, **kwargs)
-                dep = verify_dependences(schedule, g, max_witnesses=max_witnesses)
-                races = detect_races(schedule, fp, max_witnesses=max_witnesses)
-                row: Dict = {
-                    "matrix": spec.name,
-                    "kernel": kname,
-                    "algorithm": algo,
-                    "n": g.n,
-                    "n_edges": g.n_edges,
-                    "verifier": dep.as_dict(),
-                    "races": races.as_dict(),
-                    "ok": dep.ok and races.ok,
-                }
-                if trace:
-                    recorder = TraceRecorder()
-                    run_trace_ok, trace_detail = _trace_one(schedule, g, cost, recorder)
-                    row["trace"] = {"ok": run_trace_ok, "detail": trace_detail,
-                                    "n_events": len(recorder)}
-                    row["ok"] = row["ok"] and run_trace_ok
-                if mutate:
-                    results = run_mutation_suite(schedule, g, fp)
-                    escaped = [r.name for r in results if r.escaped]
-                    row["mutations"] = {
-                        "applied": sum(1 for r in results if r.applied),
-                        "caught": sum(1 for r in results if r.caught),
-                        "escaped": escaped,
+                try:
+                    kwargs = {}
+                    if epsilon is not None and algo in ("hdagg", "lbc"):
+                        kwargs["epsilon"] = epsilon
+                    schedule = SCHEDULERS[algo](g, cost, cores, **kwargs)
+                    dep = verify_dependences(schedule, g, max_witnesses=max_witnesses)
+                    races = detect_races(schedule, fp, max_witnesses=max_witnesses)
+                    row: Dict = {
+                        "matrix": spec.name,
+                        "kernel": kname,
+                        "algorithm": algo,
+                        "n": g.n,
+                        "n_edges": g.n_edges,
+                        "verifier": dep.as_dict(),
+                        "races": races.as_dict(),
+                        "ok": dep.ok and races.ok,
                     }
-                    row["ok"] = row["ok"] and not escaped
-                row["seconds"] = time.perf_counter() - t0
+                    if trace:
+                        recorder = TraceRecorder()
+                        run_trace_ok, trace_detail = _trace_one(schedule, g, cost, recorder)
+                        row["trace"] = {"ok": run_trace_ok, "detail": trace_detail,
+                                        "n_events": len(recorder)}
+                        row["ok"] = row["ok"] and run_trace_ok
+                    if mutate:
+                        results = run_mutation_suite(schedule, g, fp)
+                        escaped = [r.name for r in results if r.escaped]
+                        row["mutations"] = {
+                            "applied": sum(1 for r in results if r.applied),
+                            "caught": sum(1 for r in results if r.caught),
+                            "escaped": escaped,
+                        }
+                        row["ok"] = row["ok"] and not escaped
+                    row["seconds"] = time.perf_counter() - t0
+                except Exception as exc:
+                    row = _error_row(spec.name, kname, algo, exc,
+                                     time.perf_counter() - t0,
+                                     n=g.n, n_edges=g.n_edges)
                 rows.append(row)
                 if progress is not None:
                     progress(row)
     return rows
+
+
+def _error_row(matrix: str, kernel: str, algorithm: str, exc: BaseException,
+               seconds: float, *, n: int = 0, n_edges: int = 0) -> Dict:
+    """Structured row for a combination that raised instead of analysing."""
+    return {
+        "matrix": matrix,
+        "kernel": kernel,
+        "algorithm": algorithm,
+        "n": n,
+        "n_edges": n_edges,
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+        "seconds": seconds,
+    }
 
 
 def _trace_one(schedule, g, cost, recorder) -> tuple:
@@ -151,6 +181,11 @@ def _trace_one(schedule, g, cost, recorder) -> tuple:
 
 def _format_row(row: Dict) -> str:
     status = "ok" if row["ok"] else "FAIL"
+    if "error" in row:
+        return (
+            f"{row['matrix']:>14s} {row['kernel']:>7s} {row['algorithm']:>9s} "
+            f"{status:>4s} ({row['seconds'] * 1e3:7.1f} ms) error={row['error']}"
+        )
     extra = ""
     if not row["verifier"]["ok"]:
         extra += f" dep-violations={row['verifier']['n_violations']}"
@@ -205,8 +240,8 @@ def analyze_main(argv=None) -> int:
         progress=lambda row: print(_format_row(row), flush=True),
     )
     n_bad = sum(1 for r in rows if not r["ok"])
-    verify_s = sum(r["verifier"]["seconds"] for r in rows)
-    races_s = sum(r["races"]["seconds"] for r in rows)
+    verify_s = sum(r["verifier"]["seconds"] for r in rows if "verifier" in r)
+    races_s = sum(r["races"]["seconds"] for r in rows if "races" in r)
     print(
         f"# {len(rows)} combinations, {n_bad} findings "
         f"(verifier {verify_s:.2f}s, race detector {races_s:.2f}s)",
@@ -219,6 +254,10 @@ def analyze_main(argv=None) -> int:
         print(f"# wrote {args.json}", file=sys.stderr)
     for row in rows:
         if row["ok"]:
+            continue
+        if "error" in row:
+            print(f"  error [{row['matrix']}/{row['kernel']}/{row['algorithm']}]: "
+                  f"{row['error']}", file=sys.stderr)
             continue
         for w in row["verifier"]["witnesses"]:
             print(f"  witness [{row['matrix']}/{row['kernel']}/{row['algorithm']}]: {w}",

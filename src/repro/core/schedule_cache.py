@@ -26,6 +26,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..graph.dag import DAG
+from ..resilience.faults import fault_point
 from .schedule import Schedule
 
 __all__ = ["CacheStats", "ScheduleCache", "schedule_key"]
@@ -101,14 +102,27 @@ class ScheduleCache:
         self._misses = 0
 
     def get(self, key: str) -> Optional[Schedule]:
-        """Look up a schedule; counts a hit or a miss."""
+        """Look up a schedule; counts a hit or a miss.
+
+        The ``schedule_cache.get`` fault site lets chaos runs hand back a
+        deterministically corrupted schedule on a hit — consumers that
+        re-validate hits (the harness) must catch it and fall back to a
+        fresh inspection.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
             return None
         self._entries.move_to_end(key)
         self._hits += 1
+        injected = fault_point("schedule_cache.get", payload=entry, label=key)
+        if injected is not None:
+            return injected
         return entry
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (cache-corruption recovery); True when it existed."""
+        return self._entries.pop(key, None) is not None
 
     def put(self, key: str, schedule: Schedule) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if over capacity."""

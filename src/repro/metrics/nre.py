@@ -18,6 +18,7 @@ Wavefront ≈ 9.4).  The calibration fixes scale only; the *growth* with
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 
@@ -93,7 +94,19 @@ def nre(
     serial_result: SimulationResult,
     parallel_result: SimulationResult,
 ) -> float:
-    """Equation 2.  Returns ``inf`` when the schedule gives no speedup."""
+    """Equation 2.  Returns ``inf`` when the schedule gives no speedup.
+
+    A *zero-cycle* pair (both makespans 0 — an empty DAG) makes the ratio
+    0/0; that degenerate case returns 1.0 with a warning rather than
+    ``inf``, so empty matrices do not poison NRE aggregates.
+    """
+    if serial_result.makespan_cycles <= 0.0 and parallel_result.makespan_cycles <= 0.0:
+        warnings.warn(
+            "zero-cycle simulation: NRE is undefined, returning 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1.0
     gain = serial_result.makespan_cycles - parallel_result.makespan_cycles
     if gain <= 0.0:
         return float("inf")

@@ -1,0 +1,50 @@
+"""Structured failure rows for fault-isolated suite runs.
+
+When :meth:`repro.suite.harness.Harness.run_suite` runs with failure
+isolation, a matrix that dies — malformed input, inspector bug, crashed
+pool worker — must degrade to *one structured row* rather than killing the
+whole grid.  :class:`FailureRecord` is that row: enough context to
+reproduce (matrix, stage, error type/message, retry count) and a stable
+dict form for the JSONL journal and ``--json`` dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+__all__ = ["FailureRecord"]
+
+
+@dataclass
+class FailureRecord:
+    """One matrix's failure in a fault-isolated suite run.
+
+    ``stage`` names where it died: ``"prepare"`` (build/sanitize),
+    ``"run"`` (inspection/simulation in-process), or ``"worker"`` (a fork
+    pool worker crashed or returned an error).  ``attempts`` counts how
+    many executions were tried before giving up (retries included).
+    """
+
+    matrix: str
+    family: str
+    stage: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    site: Optional[str] = field(default=None)
+
+    def describe(self) -> str:
+        """One-line human account for progress logs and stderr summaries."""
+        where = f" [site={self.site}]" if self.site else ""
+        tries = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"{self.matrix} ({self.stage}{where}): {self.error_type}: {self.message}{tries}"
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "FailureRecord":
+        """Inverse of :meth:`as_dict` (journal reload)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in blob.items() if k in names})

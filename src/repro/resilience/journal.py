@@ -1,0 +1,169 @@
+"""JSONL run journal: checkpoint and resume for suite grid runs.
+
+A full-suite grid run costs minutes; a crash at matrix 30 of 34 should not
+cost them again.  The journal is an append-only JSONL file the harness
+writes as each matrix completes:
+
+* line 1 — a header: ``{"kind": "header", "version": 1, "fingerprint": ...}``
+  where the fingerprint digests the grid configuration (machines, kernels,
+  algorithms, ordering, epsilon, matrix names), so a journal can never be
+  resumed under a different grid;
+* one line per finished matrix —
+  ``{"kind": "matrix", "matrix": name, "records": [...]}`` with the
+  matrix's serialized :class:`~repro.suite.harness.RunRecord` rows;
+* one line per isolated failure —
+  ``{"kind": "failure", "failure": {...}}``.
+
+Each line is flushed and fsync'd before the next matrix starts, so a
+``kill -9`` mid-grid loses at most the in-flight matrix.  On resume, a
+trailing half-written line (the signature of that kill) is ignored;
+corruption anywhere else is an error.  Because records are replayed from
+the journal verbatim, a resumed run's record list is bit-identical to an
+uninterrupted run's.
+
+The journal itself is format-only (dict rows in, dict rows out); the
+harness owns record (de)serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from os import PathLike
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["JournalError", "RunJournal", "JOURNAL_VERSION"]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable: wrong grid, corrupt body, or clobber risk."""
+
+
+class RunJournal:
+    """One suite run's checkpoint file.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file.  Created (with its header) when absent.
+    fingerprint:
+        Digest of the grid configuration.  A non-empty fingerprint must
+        match an existing journal's header exactly.
+    resume:
+        Must be true to open an existing non-empty journal — refusing by
+        default prevents accidentally appending one grid's rows to
+        another's checkpoint.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, PathLike],
+        *,
+        fingerprint: str = "",
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._completed: Dict[str, List[dict]] = {}
+        self.failures: List[dict] = []
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        if exists:
+            if not resume:
+                raise JournalError(
+                    f"journal {self.path} already exists; pass resume=True "
+                    "(--resume) to continue it, or choose a fresh path"
+                )
+            self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._write_row(
+                {"kind": "header", "version": JOURNAL_VERSION, "fingerprint": fingerprint}
+            )
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        rows: List[dict] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    # trailing half-written line: the run was killed
+                    # mid-append; everything before it is intact
+                    break
+                raise JournalError(f"{self.path}: corrupt journal line {i + 1}") from exc
+        if not rows:
+            raise JournalError(f"{self.path}: journal has no readable rows")
+        header = rows[0]
+        if header.get("kind") != "header":
+            raise JournalError(f"{self.path}: first row is not a journal header")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('version')!r} "
+                f"!= supported {JOURNAL_VERSION}"
+            )
+        if self.fingerprint and header.get("fingerprint") != self.fingerprint:
+            raise JournalError(
+                f"{self.path}: journal was written for a different grid "
+                "configuration (fingerprint mismatch) — it cannot seed this run"
+            )
+        for row in rows[1:]:
+            kind = row.get("kind")
+            if kind == "matrix":
+                self._completed[row["matrix"]] = row["records"]
+            elif kind == "failure":
+                self.failures.append(row["failure"])
+            else:
+                raise JournalError(f"{self.path}: unknown journal row kind {kind!r}")
+
+    def _write_row(self, row: dict) -> None:
+        self._fh.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> List[str]:
+        """Names of matrices already checkpointed, in journal order."""
+        return list(self._completed)
+
+    def has(self, matrix: str) -> bool:
+        """True when ``matrix`` has a checkpointed record row."""
+        return matrix in self._completed
+
+    def record_blobs_for(self, matrix: str) -> List[dict]:
+        """The serialized records checkpointed for ``matrix``."""
+        return self._completed[matrix]
+
+    def append_matrix(self, matrix: str, record_blobs: List[dict]) -> None:
+        """Checkpoint one finished matrix (flushed + fsync'd)."""
+        self._completed[matrix] = record_blobs
+        self._write_row({"kind": "matrix", "matrix": matrix, "records": record_blobs})
+
+    def append_failure(self, failure_blob: dict) -> None:
+        """Checkpoint one isolated failure row."""
+        self.failures.append(failure_blob)
+        self._write_row({"kind": "failure", "failure": failure_blob})
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunJournal({str(self.path)!r}, completed={len(self._completed)})"

@@ -1,0 +1,66 @@
+"""Bounded retry with exponential backoff.
+
+Used by the harness to recover matrices whose fork pool worker crashed:
+the matrix is re-run (serially, in the parent) a bounded number of times
+with exponentially growing delays, and the final failure propagates with
+the full attempt history attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryExhausted", "retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+class RetryExhausted(RuntimeError):
+    """Every attempt failed; ``attempts`` counts them, ``last`` is the cause."""
+
+    def __init__(self, message: str, *, attempts: int, last: BaseException) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    retries: int = 2,
+    base_delay: float = 0.1,
+    factor: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` up to ``1 + retries`` times, backing off between attempts.
+
+    The delay before retry ``k`` (1-based) is ``base_delay * factor**(k-1)``.
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately.  After the final failure a
+    :class:`RetryExhausted` is raised from the last error, carrying the
+    attempt count — callers (the harness) fold that into their
+    :class:`~repro.resilience.failures.FailureRecord`.
+
+    ``sleep`` is injectable so tests assert the backoff sequence without
+    actually waiting.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    attempts = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempts += 1
+            if attempts > retries:
+                raise RetryExhausted(
+                    f"all {attempts} attempts failed; last error: {type(exc).__name__}: {exc}",
+                    attempts=attempts,
+                    last=exc,
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempts, exc)
+            sleep(base_delay * factor ** (attempts - 1))

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.schedule import Schedule
 from ..graph.dag import DAG
+from ..resilience.faults import fault_point
 from .simulator import bind_dynamic_partitions
 
 __all__ = ["run_threaded", "ThreadedExecutionError"]
@@ -167,6 +168,11 @@ def run_threaded(
                 for vertices in plan[k][core]:
                     for v in vertices.tolist():
                         current = v
+                        # chaos hooks: a targeted core can be stalled (the
+                        # peers' p2p deadlock detector must then fire with
+                        # the stuck triple) or crashed outright
+                        fault_point("executor.stall", label=str(core))
+                        fault_point("executor.worker", label=str(core))
                         wait_for(v, core)
                         process_vertex(v)
                         if trace is not None:

@@ -20,9 +20,16 @@ from .generators import (
     spd_from_pattern,
     tridiagonal_spd,
 )
-from .io_mm import dumps_matrix_market, loads_matrix_market, read_matrix_market, write_matrix_market
+from .io_mm import (
+    MatrixMarketParseError,
+    dumps_matrix_market,
+    loads_matrix_market,
+    read_matrix_market,
+    write_matrix_market,
+)
 from .linalg import CGResult, conjugate_gradient, dense_lower_solve, dense_upper_solve, residual_norm
 from .ordering import apply_ordering, natural, nested_dissection, random_permutation, rcm
+from .sanitize import CSRSanitizeError, SanitizeIssue, SanitizeReport, sanitize_csr
 from .properties import (
     MatrixSummary,
     bandwidth,
@@ -68,6 +75,11 @@ __all__ = [
     "write_matrix_market",
     "loads_matrix_market",
     "dumps_matrix_market",
+    "MatrixMarketParseError",
+    "sanitize_csr",
+    "CSRSanitizeError",
+    "SanitizeIssue",
+    "SanitizeReport",
     "poisson2d",
     "poisson3d",
     "banded_spd",

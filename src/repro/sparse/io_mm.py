@@ -15,32 +15,54 @@ from typing import Union
 
 import numpy as np
 
-from .csr import CSRMatrix, csr_from_coo
+from .csr import CSRMatrix
+from .sanitize import CSRSanitizeError, SanitizeIssue, SanitizeReport, sanitize_csr
 
-__all__ = ["read_matrix_market", "write_matrix_market", "loads_matrix_market", "dumps_matrix_market"]
+__all__ = [
+    "MatrixMarketParseError",
+    "read_matrix_market",
+    "write_matrix_market",
+    "loads_matrix_market",
+    "dumps_matrix_market",
+]
 
 _HEADER_PREFIX = "%%MatrixMarket"
 
 
-def loads_matrix_market(text: str) -> CSRMatrix:
-    """Parse a Matrix Market coordinate document from a string."""
+class MatrixMarketParseError(ValueError):
+    """The document is not parseable Matrix Market text (before any matrix
+    content can be judged): bad header, bad size line, truncated or
+    over-long entry list, malformed entry tokens."""
+
+
+def loads_matrix_market(text: str, *, repair: bool = False) -> CSRMatrix:
+    """Parse a Matrix Market coordinate document from a string.
+
+    Malformed *documents* raise :class:`MatrixMarketParseError`; documents
+    that parse but carry malformed *matrix content* (duplicate entries,
+    out-of-range indices, NaN/Inf values) are routed through
+    :func:`~repro.sparse.sanitize.sanitize_csr` — rejected with a
+    structured :class:`~repro.sparse.sanitize.CSRSanitizeError` by
+    default, or repaired in place with ``repair=True``.  Both are
+    ``ValueError`` subclasses, preserving the historical contract.
+    """
     lines = iter(text.splitlines())
     try:
         header = next(lines)
     except StopIteration:
-        raise ValueError("empty Matrix Market document") from None
+        raise MatrixMarketParseError("empty Matrix Market document") from None
     parts = header.strip().split()
     if len(parts) != 5 or parts[0] != _HEADER_PREFIX:
-        raise ValueError(f"bad Matrix Market header: {header!r}")
+        raise MatrixMarketParseError(f"bad Matrix Market header: {header!r}")
     _, obj, fmt, field, symmetry = (p.lower() for p in parts)
     if obj != "matrix":
-        raise ValueError(f"unsupported object {obj!r}")
+        raise MatrixMarketParseError(f"unsupported object {obj!r}")
     if fmt != "coordinate":
-        raise ValueError(f"only 'coordinate' format is supported, got {fmt!r}")
+        raise MatrixMarketParseError(f"only 'coordinate' format is supported, got {fmt!r}")
     if field not in ("real", "integer", "pattern"):
-        raise ValueError(f"unsupported field {field!r}")
+        raise MatrixMarketParseError(f"unsupported field {field!r}")
     if symmetry not in ("general", "symmetric"):
-        raise ValueError(f"unsupported symmetry {symmetry!r}")
+        raise MatrixMarketParseError(f"unsupported symmetry {symmetry!r}")
 
     # Skip comments and blanks up to the size line.
     size_line = None
@@ -51,11 +73,16 @@ def loads_matrix_market(text: str) -> CSRMatrix:
         size_line = s
         break
     if size_line is None:
-        raise ValueError("missing size line")
+        raise MatrixMarketParseError("missing size line")
     dims = size_line.split()
     if len(dims) != 3:
-        raise ValueError(f"bad size line: {size_line!r}")
-    n_rows, n_cols, nnz = (int(x) for x in dims)
+        raise MatrixMarketParseError(f"bad size line: {size_line!r}")
+    try:
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+    except ValueError:
+        raise MatrixMarketParseError(f"bad size line: {size_line!r}") from None
+    if n_rows < 0 or n_cols < 0 or nnz < 0:
+        raise MatrixMarketParseError(f"negative dimensions in size line: {size_line!r}")
 
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
@@ -66,33 +93,71 @@ def loads_matrix_market(text: str) -> CSRMatrix:
         if not s or s.startswith("%"):
             continue
         if k >= nnz:
-            raise ValueError("more entries than declared in size line")
+            raise MatrixMarketParseError("more entries than declared in size line")
         toks = s.split()
-        if field == "pattern":
-            if len(toks) != 2:
-                raise ValueError(f"bad pattern entry: {s!r}")
-            r, c, v = int(toks[0]), int(toks[1]), 1.0
-        else:
-            if len(toks) != 3:
-                raise ValueError(f"bad entry: {s!r}")
-            r, c, v = int(toks[0]), int(toks[1]), float(toks[2])
+        try:
+            if field == "pattern":
+                if len(toks) != 2:
+                    raise MatrixMarketParseError(f"bad pattern entry: {s!r}")
+                r, c, v = int(toks[0]), int(toks[1]), 1.0
+            else:
+                if len(toks) != 3:
+                    raise MatrixMarketParseError(f"bad entry: {s!r}")
+                r, c, v = int(toks[0]), int(toks[1]), float(toks[2])
+        except ValueError:
+            raise MatrixMarketParseError(f"bad entry: {s!r}") from None
         rows[k], cols[k], vals[k] = r - 1, c - 1, v  # 1-based -> 0-based
         k += 1
     if k != nnz:
-        raise ValueError(f"declared {nnz} entries but found {k}")
+        raise MatrixMarketParseError(
+            f"declared {nnz} entries but found {k} (truncated document?)"
+        )
 
     if symmetry == "symmetric":
         off = rows != cols
         rows = np.concatenate([rows, cols[off]])
         cols = np.concatenate([cols, rows[: nnz][off]])
         vals = np.concatenate([vals, vals[off]])
-    return csr_from_coo(n_rows, n_cols, rows, cols, vals, sum_duplicates=False)
+    return _assemble(n_rows, n_cols, rows, cols, vals, repair=repair)
 
 
-def read_matrix_market(path: Union[str, PathLike]) -> CSRMatrix:
-    """Read a ``.mtx`` file from disk."""
+def _assemble(
+    n_rows: int, n_cols: int, rows, cols, vals, *, repair: bool
+) -> CSRMatrix:
+    """COO triplets -> sanitized CSR with structured content errors."""
+    report = SanitizeReport(name="matrix-market", n_rows=n_rows, n_cols=n_cols)
+    bad_rows = (rows < 0) | (rows >= n_rows)
+    n_bad = int(np.count_nonzero(bad_rows))
+    if n_bad:
+        report.issues.append(
+            SanitizeIssue(
+                "row_out_of_range",
+                n_bad,
+                f"row indices outside [0, {n_rows})",
+                repaired=repair,
+            )
+        )
+        if not repair:
+            raise CSRSanitizeError(report)
+        keep = ~bad_rows
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
+    matrix, content_report = sanitize_csr(
+        (n_rows, n_cols, indptr, cols, vals), repair=repair, name="matrix-market"
+    )
+    if report.issues and content_report.issues:
+        # merge the row-range issue into the content report for callers
+        content_report.issues = report.issues + content_report.issues
+    return matrix
+
+
+def read_matrix_market(path: Union[str, PathLike], *, repair: bool = False) -> CSRMatrix:
+    """Read a ``.mtx`` file from disk (see :func:`loads_matrix_market`)."""
     with open(path, "r", encoding="ascii") as fh:
-        return loads_matrix_market(fh.read())
+        return loads_matrix_market(fh.read(), repair=repair)
 
 
 def dumps_matrix_market(a: CSRMatrix, *, symmetric: bool = False) -> str:

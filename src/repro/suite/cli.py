@@ -43,6 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-records", default=None, help="persist run records for later --load-records")
     p.add_argument("--load-records", default=None,
                    help="skip the grid run and regenerate experiments from saved records")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fork workers for the grid run (1 = serial)")
+    p.add_argument("--journal", default=None,
+                   help="JSONL checkpoint file; each finished matrix is flushed so a "
+                        "killed run can be resumed with --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from an existing --journal file (replays finished "
+                        "matrices verbatim, runs only the rest)")
+    p.add_argument("--faults", type=int, default=None, metavar="SEED",
+                   help="arm a deterministic chaos FaultPlan with this seed "
+                        "(failures are isolated into structured rows)")
     p.add_argument("--list", action="store_true", help="list the dataset and exit")
     return p
 
@@ -140,6 +151,9 @@ def main(argv=None) -> int:
         print(format_table(["algorithm", "cores", "speedup", "efficiency"], rows,
                            title=f"Strong scaling: {spec.name}, {kernel.name}, {machine.name}"))
         return 0
+    if args.resume and not args.journal:
+        print("# --resume requires --journal", file=sys.stderr)
+        return 2
     if args.load_records:
         from .storage import load_records
 
@@ -151,9 +165,51 @@ def main(argv=None) -> int:
             kwargs["epsilon"] = args.epsilon
         harness = Harness(machines=args.machines, kernels=args.kernels,
                           ordering=args.ordering, **kwargs)
+        journal = None
+        if args.journal:
+            from ..resilience.journal import JournalError, RunJournal
+
+            try:
+                journal = RunJournal(args.journal,
+                                     fingerprint=harness.config_fingerprint(specs),
+                                     resume=args.resume)
+            except JournalError as exc:
+                print(f"# {exc}", file=sys.stderr)
+                return 2
+            if args.resume and journal.completed:
+                print(f"# resuming: {len(journal.completed)} matrices already in "
+                      f"{args.journal}", file=sys.stderr)
+        plan = None
+        if args.faults is not None:
+            from ..resilience.faults import FaultPlan
+
+            plan = FaultPlan.chaos(args.faults)
+            print(f"# chaos plan (seed {args.faults}):", file=sys.stderr)
+            for line in plan.describe().splitlines():
+                print(f"#   {line}", file=sys.stderr)
+        from ..resilience.faults import armed
+
+        isolate = plan is not None or journal is not None
+        failures: List = []
         t0 = time.time()
-        records = harness.run_suite(specs, progress=True)
+        try:
+            with armed(plan):
+                records = harness.run_suite(
+                    specs,
+                    progress=True,
+                    n_jobs=args.jobs,
+                    isolate_failures=isolate,
+                    failures=failures,
+                    journal=journal,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
         print(f"# {len(records)} records in {time.time() - t0:.1f}s", file=sys.stderr)
+        for f in failures:
+            print(f"# FAILED {f.describe()}", file=sys.stderr)
+        if failures:
+            print(f"# {len(failures)} matrices failed (isolated)", file=sys.stderr)
     if args.save_records:
         from .storage import save_records
 
@@ -175,7 +231,10 @@ def main(argv=None) -> int:
             print(f"[{name}] failed: {exc}", file=sys.stderr)
             results[name] = f"error: {exc}"
     if args.json:
-        dump_json({"records": [r.__dict__ for r in records], "status": results}, args.json)
+        from .storage import record_to_blob
+
+        dump_json({"records": [record_to_blob(r, encode_floats=False) for r in records],
+                   "status": results}, args.json)
         print(f"# wrote {args.json}", file=sys.stderr)
     return 0 if all(v == "ok" for v in results.values()) else 1
 

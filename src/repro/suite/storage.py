@@ -17,11 +17,23 @@ from typing import List, Sequence, Union
 
 from .harness import RunRecord
 
-__all__ = ["records_to_json", "records_from_json", "save_records", "load_records"]
+__all__ = [
+    "records_to_json",
+    "records_from_json",
+    "save_records",
+    "load_records",
+    "record_to_blob",
+    "record_from_blob",
+]
 
 _FLOAT_FIELDS = {
     f.name for f in fields(RunRecord) if f.type in ("float", float)
 }
+
+#: Resilience fields are serialised only when they carry information, so
+#: records of non-degraded runs (and the --json payloads built from them)
+#: stay byte-identical to those written before the fields existed.
+_DORMANT_DEFAULTS = {"degraded": False, "degraded_from": ""}
 
 
 def _encode(value):
@@ -39,11 +51,30 @@ def _decode(name: str, value):
     return value
 
 
+def record_to_blob(record: RunRecord, *, encode_floats: bool = True) -> dict:
+    """One record as a JSON-ready dict (dormant default fields dropped)."""
+    blob = {
+        k: (_encode(v) if encode_floats else v)
+        for k, v in record.__dict__.items()
+        if k not in _DORMANT_DEFAULTS or v != _DORMANT_DEFAULTS[k]
+    }
+    return blob
+
+
+def record_from_blob(blob: dict) -> RunRecord:
+    """Inverse of :func:`record_to_blob`; validates the field set."""
+    expected = {f.name for f in fields(RunRecord)}
+    optional = set(_DORMANT_DEFAULTS)
+    if not (expected - optional <= set(blob) <= expected):
+        missing = (expected - optional) - set(blob)
+        extra = set(blob) - expected
+        raise ValueError(f"record fields mismatch (missing={missing}, extra={extra})")
+    return RunRecord(**{k: _decode(k, v) for k, v in blob.items()})
+
+
 def records_to_json(records: Sequence[RunRecord]) -> str:
     """Serialise records (non-finite floats encoded as strings)."""
-    blobs = [
-        {k: _encode(v) for k, v in r.__dict__.items()} for r in records
-    ]
+    blobs = [record_to_blob(r) for r in records]
     return json.dumps({"version": 1, "records": blobs}, indent=1)
 
 
@@ -52,15 +83,7 @@ def records_from_json(text: str) -> List[RunRecord]:
     doc = json.loads(text)
     if doc.get("version") != 1:
         raise ValueError(f"unsupported records version {doc.get('version')!r}")
-    expected = {f.name for f in fields(RunRecord)}
-    out: List[RunRecord] = []
-    for blob in doc["records"]:
-        if set(blob) != expected:
-            missing = expected - set(blob)
-            extra = set(blob) - expected
-            raise ValueError(f"record fields mismatch (missing={missing}, extra={extra})")
-        out.append(RunRecord(**{k: _decode(k, v) for k, v in blob.items()}))
-    return out
+    return [record_from_blob(blob) for blob in doc["records"]]
 
 
 def save_records(records: Sequence[RunRecord], path: Union[str, PathLike]) -> None:

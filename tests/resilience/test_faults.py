@@ -1,0 +1,184 @@
+"""Deterministic fault injection: plans, sites, corruption primitives."""
+
+import multiprocessing
+import random
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    CSR_CORRUPTIONS,
+    FAULT_EXIT_CODE,
+    FAULT_SITES,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    armed,
+    corrupt_csr_arrays,
+    corrupt_schedule,
+    fault_point,
+)
+from repro.sparse import CSRSanitizeError, poisson2d, sanitize_csr
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no.such.site", "raise")
+
+    def test_unsupported_action_rejected(self):
+        with pytest.raises(ValueError, match="does not support action"):
+            FaultSpec("inspector", "exit")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("inspector", "raise", at=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("inspector", "raise", times=0)
+
+    def test_fires_at_window(self):
+        s = FaultSpec("inspector", "raise", at=2, times=2)
+        assert [s.fires_at(i, None) for i in range(6)] == [
+            False, False, True, True, False, False,
+        ]
+
+    def test_fires_at_unbounded_and_match(self):
+        s = FaultSpec("inspector", "raise", at=1, times=-1, match="hdagg")
+        assert not s.fires_at(5, "wavefront")
+        assert not s.fires_at(0, "hdagg")
+        assert s.fires_at(1, "hdagg") and s.fires_at(100, "hdagg")
+
+
+class TestFaultPoint:
+    def test_dormant_is_noop(self):
+        assert active_plan() is None
+        assert fault_point("inspector", label="hdagg") is None
+        assert fault_point("harness.prepare", payload=object()) is None
+
+    def test_raise_action_carries_context(self):
+        plan = FaultPlan([FaultSpec("inspector", "raise", at=1)])
+        with armed(plan):
+            assert fault_point("inspector", label="a") is None
+            with pytest.raises(FaultError) as exc_info:
+                fault_point("inspector", label="b")
+        err = exc_info.value
+        assert (err.site, err.label, err.occurrence) == ("inspector", "b", 1)
+        assert len(plan.fired) == 1
+        assert plan.fired[0].action == "raise"
+
+    def test_occurrence_counters_are_per_site(self):
+        plan = FaultPlan([FaultSpec("suite.matrix", "raise", at=1)])
+        with armed(plan):
+            # occurrences at other sites must not advance suite.matrix's count
+            fault_point("inspector")
+            fault_point("inspector")
+            assert fault_point("suite.matrix") is None
+            with pytest.raises(FaultError):
+                fault_point("suite.matrix")
+
+    def test_nested_arming_refused(self):
+        plan = FaultPlan([FaultSpec("inspector", "raise")])
+        with armed(plan):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with armed(FaultPlan([])):
+                    pass
+        assert active_plan() is None
+
+    def test_armed_none_is_noop(self):
+        with armed(None):
+            assert active_plan() is None
+
+    def test_disarmed_after_exception(self):
+        plan = FaultPlan([FaultSpec("inspector", "raise", times=-1)])
+        with pytest.raises(FaultError):
+            with armed(plan):
+                fault_point("inspector")
+        assert active_plan() is None
+
+
+class TestDeterminism:
+    def test_chaos_plan_reproducible(self):
+        for seed in (0, 7, 123):
+            a, b = FaultPlan.chaos(seed), FaultPlan.chaos(seed)
+            assert a.specs == b.specs
+            assert a.describe() == b.describe()
+
+    def test_chaos_plans_differ_across_seeds(self):
+        assert {FaultPlan.chaos(s).describe() for s in range(8)} != {
+            FaultPlan.chaos(0).describe()
+        } or True  # at least one seed differs from seed 0
+        assert any(
+            FaultPlan.chaos(s).specs != FaultPlan.chaos(0).specs for s in range(1, 8)
+        )
+
+    def test_chaos_sites_stay_in_process(self):
+        for seed in range(10):
+            for spec in FaultPlan.chaos(seed).specs:
+                assert spec.site in FAULT_SITES
+                assert spec.action != "exit"
+
+    def test_corruption_reproducible(self, mesh):
+        out = []
+        for _ in range(2):
+            rng = random.Random(42)
+            mode = rng.choice(CSR_CORRUPTIONS)
+            out.append(corrupt_csr_arrays(mesh, mode, rng))
+        for x, y in zip(out[0], out[1]):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestCorruptionPrimitives:
+    @pytest.mark.parametrize("mode", CSR_CORRUPTIONS)
+    def test_every_mode_detected_by_sanitizer(self, mode, mesh):
+        raw = corrupt_csr_arrays(mesh, mode, random.Random(5))
+        assert isinstance(raw, tuple) and len(raw) == 5
+        if mode == "indptr_regression":
+            with pytest.raises(CSRSanitizeError) as exc_info:
+                sanitize_csr(raw, repair=True, ensure_diagonal=True)
+            codes = {i.code for i in exc_info.value.report.issues}
+            assert "indptr_regression" in codes
+        else:
+            fixed, report = sanitize_csr(raw, repair=True, ensure_diagonal=True)
+            assert not report.ok and report.repaired
+            # the repaired matrix satisfies every CSR invariant again
+            type(fixed)(fixed.n_rows, fixed.n_cols, fixed.indptr, fixed.indices, fixed.data)
+
+    def test_unknown_mode_rejected(self, mesh):
+        with pytest.raises(ValueError, match="unknown CSR corruption"):
+            corrupt_csr_arrays(mesh, "nope", random.Random(0))
+
+    def test_corrupt_schedule_drops_coverage(self, mesh):
+        from repro.analysis.verifier import assert_schedule_safe
+        from repro.core.schedule import ScheduleError
+        from repro.kernels import KERNELS
+        from repro.schedulers import SCHEDULERS
+        from repro.sparse import lower_triangle
+
+        operand = lower_triangle(mesh)
+        g = KERNELS["sptrsv"].dag(operand)
+        cost = KERNELS["sptrsv"].cost(operand)
+        schedule = SCHEDULERS["wavefront"](g, cost, 4)
+        broken = corrupt_schedule(schedule, random.Random(0))
+        assert broken.n_levels == schedule.n_levels - 1
+        with pytest.raises(ScheduleError):
+            assert_schedule_safe(broken, g)
+
+
+def _exit_fault_child() -> None:
+    plan = FaultPlan([FaultSpec("pool.worker", "exit")])
+    with armed(plan):
+        fault_point("pool.worker")
+
+
+def test_exit_action_uses_fault_exit_code():
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_exit_fault_child)
+    proc.start()
+    proc.join(30)
+    assert proc.exitcode == FAULT_EXIT_CODE
+
+
+@pytest.fixture
+def mesh():
+    return poisson2d(8, seed=3)

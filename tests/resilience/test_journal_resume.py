@@ -1,0 +1,132 @@
+"""JSONL run journal: checkpointing, corruption tolerance, bit-identical resume."""
+
+import json
+
+import pytest
+
+from repro.resilience.faults import FaultError, FaultPlan, FaultSpec, armed
+from repro.resilience.journal import JOURNAL_VERSION, JournalError, RunJournal
+from repro.suite import Harness
+from repro.suite.matrices import SUITE
+from repro.suite.storage import record_to_blob
+
+#: wall-clock fields that legitimately differ between two computations
+TIMING_FIELDS = {"inspector_seconds", "stage_seconds", "schedule_cached"}
+
+
+def _strip(record):
+    return {k: v for k, v in record.__dict__.items() if k not in TIMING_FIELDS}
+
+
+class TestJournalFormat:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}])
+            j.append_failure({"matrix": "m2", "error_type": "E"})
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {"kind": "header", "version": JOURNAL_VERSION, "fingerprint": "abc"}
+        assert rows[1] == {"kind": "matrix", "matrix": "m1", "records": [{"x": 1}]}
+        assert rows[2] == {"kind": "failure", "failure": {"matrix": "m2", "error_type": "E"}}
+
+    def test_reload_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}, {"x": 2}])
+        back = RunJournal(path, fingerprint="abc", resume=True)
+        assert back.completed == ["m1"]
+        assert back.has("m1") and not back.has("m2")
+        assert back.record_blobs_for("m1") == [{"x": 1}, {"x": 2}]
+        back.close()
+
+    def test_existing_journal_refused_without_resume(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path, fingerprint="abc").close()
+        with pytest.raises(JournalError, match="already exists"):
+            RunJournal(path, fingerprint="abc")
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path, fingerprint="grid-a").close()
+        with pytest.raises(JournalError, match="different grid"):
+            RunJournal(path, fingerprint="grid-b", resume=True)
+
+    def test_trailing_half_written_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "matrix", "matrix": "m2", "rec')  # kill -9 signature
+        back = RunJournal(path, fingerprint="abc", resume=True)
+        assert back.completed == ["m1"]
+        back.close()
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}])
+        text = path.read_text().splitlines()
+        text[1] = "NOT JSON"
+        path.write_text("\n".join(text + ['{"kind": "matrix", "matrix": "m2", "records": []}']) + "\n")
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            RunJournal(path, fingerprint="abc", resume=True)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "matrix", "matrix": "m", "records": []}\n')
+        with pytest.raises(JournalError, match="not a journal header"):
+            RunJournal(path, resume=True)
+
+
+class TestHarnessResume:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return SUITE[:3]
+
+    @pytest.fixture(scope="class")
+    def harness_kwargs(self):
+        return dict(kernels=("sptrsv",), algorithms=("hdagg", "wavefront"))
+
+    def test_killed_run_resumes_bit_identically(self, tmp_path, specs, harness_kwargs):
+        path = tmp_path / "grid.jsonl"
+        # first run dies on the second matrix (an injected crash playing the
+        # role of kill -9 after the first checkpoint was fsync'd)
+        plan = FaultPlan([FaultSpec("suite.matrix", "raise", at=1)])
+        h1 = Harness(**harness_kwargs)
+        with armed(plan):
+            with pytest.raises(RuntimeError, match=specs[1].name):
+                h1.run_suite(specs, journal=str(path))
+        j = RunJournal(path, resume=True)
+        assert j.completed == [specs[0].name]
+        first_blobs = j.record_blobs_for(specs[0].name)
+        j.close()
+
+        # the resumed run replays the checkpoint verbatim and finishes the rest
+        h2 = Harness(**harness_kwargs)
+        resumed = h2.run_suite(specs, journal=str(path))
+        reference = Harness(**harness_kwargs).run_suite(specs)
+        assert [_strip(r) for r in resumed] == [_strip(r) for r in reference]
+        # bit-identical: the first matrix's rows are the journaled bytes,
+        # wall-clock fields included
+        n0 = len(first_blobs)
+        assert [record_to_blob(r) for r in resumed[:n0]] == first_blobs
+
+    def test_fingerprint_guards_grid_changes(self, tmp_path, specs, harness_kwargs):
+        path = tmp_path / "grid.jsonl"
+        h = Harness(**harness_kwargs)
+        h.run_suite(specs[:1], journal=str(path))
+        other = Harness(kernels=("spic0",), algorithms=("wavefront",))
+        with pytest.raises(JournalError, match="different grid"):
+            other.run_suite(specs[:1], journal=str(path))
+
+    def test_failures_are_journaled(self, tmp_path, specs, harness_kwargs):
+        path = tmp_path / "grid.jsonl"
+        plan = FaultPlan([FaultSpec("suite.matrix", "raise", at=0, match=specs[0].name)])
+        h = Harness(**harness_kwargs)
+        with armed(plan):
+            records = h.run_suite(specs[:2], journal=str(path), isolate_failures=True)
+        assert records  # the healthy matrix still ran
+        j = RunJournal(path, resume=True)
+        assert [f["matrix"] for f in j.failures] == [specs[0].name]
+        assert j.failures[0]["error_type"] == "FaultError"
+        j.close()

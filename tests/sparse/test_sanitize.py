@@ -1,0 +1,202 @@
+"""CSR input hardening: structured repair/reject of malformed matrices."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    CSRSanitizeError,
+    MatrixMarketParseError,
+    loads_matrix_market,
+    poisson2d,
+    sanitize_csr,
+)
+
+
+def _codes(exc_or_report):
+    report = getattr(exc_or_report, "report", exc_or_report)
+    return {i.code for i in report.issues}
+
+
+class TestStructuralRejection:
+    """Structural corruption is never repairable."""
+
+    def test_indptr_regression(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(
+                n_rows=3, n_cols=3,
+                indptr=[0, 2, 1, 3],
+                indices=[0, 1, 2],
+                data=[1.0, 1.0, 1.0],
+            )
+        assert _codes(e.value) == {"indptr_regression"}
+
+    def test_indptr_wrong_length(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(n_rows=3, n_cols=3, indptr=[0, 1], indices=[0], data=[1.0])
+        assert _codes(e.value) == {"indptr_length"}
+
+    def test_indptr_bad_start(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(n_rows=2, n_cols=2, indptr=[1, 1, 2], indices=[0], data=[1.0])
+        assert _codes(e.value) == {"indptr_start"}
+
+    def test_truncated_arrays(self):
+        # indptr promises 4 entries, arrays hold 2 — a truncated download
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(
+                n_rows=2, n_cols=2, indptr=[0, 2, 4], indices=[0, 1], data=[1.0, 2.0]
+            )
+        assert _codes(e.value) == {"length_mismatch"}
+
+    def test_negative_shape(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(n_rows=-1, n_cols=2, indptr=[0], indices=[], data=[])
+        assert _codes(e.value) == {"bad_shape"}
+
+    def test_uncoercible_arrays(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(
+                n_rows=1, n_cols=1, indptr=[0, 1], indices=["x"], data=[1.0]
+            )
+        assert "bad_arrays" in _codes(e.value)
+
+    def test_report_attached_and_described(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(
+                n_rows=3, n_cols=3, indptr=[0, 2, 1, 3],
+                indices=[0, 1, 2], data=[1.0, 1.0, 1.0], name="bad-case"
+            )
+        report = e.value.report
+        assert report.name == "bad-case"
+        assert "indptr_regression" in report.describe()
+        assert report.as_dict()["ok"] is False
+
+
+class TestRepair:
+    def test_out_of_range_columns_dropped(self):
+        m, report = sanitize_csr(
+            n_rows=2, n_cols=2, indptr=[0, 2, 3], indices=[0, 7, 1],
+            data=[1.0, 9.0, 2.0],
+        )
+        assert _codes(report) == {"col_out_of_range"}
+        assert report.repaired
+        assert m.nnz == 2 and m.indices.tolist() == [0, 1]
+
+    def test_nonfinite_values_dropped(self):
+        m, report = sanitize_csr(
+            n_rows=2, n_cols=2, indptr=[0, 2, 3], indices=[0, 1, 1],
+            data=[1.0, np.nan, np.inf],
+        )
+        assert _codes(report) == {"nonfinite_data"}
+        assert m.nnz == 1 and np.isfinite(m.data).all()
+
+    def test_unsorted_columns_sorted(self):
+        m, report = sanitize_csr(
+            n_rows=1, n_cols=3, indptr=[0, 3], indices=[2, 0, 1],
+            data=[3.0, 1.0, 2.0],
+        )
+        assert "col_unsorted" in _codes(report)
+        assert m.indices.tolist() == [0, 1, 2]
+        assert m.data.tolist() == [1.0, 2.0, 3.0]
+
+    def test_duplicates_summed(self):
+        m, report = sanitize_csr(
+            n_rows=1, n_cols=2, indptr=[0, 3], indices=[0, 0, 1],
+            data=[1.0, 2.0, 5.0],
+        )
+        assert "col_duplicate" in _codes(report)
+        assert m.nnz == 2
+        assert m.data.tolist() == [3.0, 5.0]
+
+    def test_missing_diagonal_inserted_on_request(self):
+        m, report = sanitize_csr(
+            n_rows=2, n_cols=2, indptr=[0, 1, 1], indices=[0], data=[4.0],
+            ensure_diagonal=True,
+        )
+        assert "missing_diagonal" in _codes(report)
+        assert m.indices.tolist() == [0, 1]
+        assert m.data.tolist() == [4.0, 1.0]
+
+    def test_repaired_matrix_satisfies_invariants(self):
+        m, _ = sanitize_csr(
+            n_rows=2, n_cols=2, indptr=[0, 3, 4], indices=[1, 0, 9, 1],
+            data=[2.0, 1.0, np.nan, 3.0], ensure_diagonal=True,
+        )
+        # re-validate through the strict constructor
+        CSRMatrix(m.n_rows, m.n_cols, m.indptr, m.indices, m.data)
+
+    def test_repair_false_rejects_repairable_defects(self):
+        with pytest.raises(CSRSanitizeError) as e:
+            sanitize_csr(
+                n_rows=1, n_cols=2, indptr=[0, 2], indices=[0, 0],
+                data=[1.0, 2.0], repair=False,
+            )
+        assert all(not i.repaired for i in e.value.report.issues)
+
+
+class TestCleanPassthrough:
+    def test_clean_matrix_same_object_empty_report(self):
+        a = poisson2d(6, seed=1)
+        out, report = sanitize_csr(a, ensure_diagonal=True)
+        assert out is a
+        assert report.ok and not report.repaired and not report.issues
+
+    def test_empty_matrix_is_clean(self):
+        m, report = sanitize_csr(
+            n_rows=0, n_cols=0, indptr=[0], indices=[], data=[],
+            ensure_diagonal=True,
+        )
+        assert report.ok and m.nnz == 0
+
+    def test_input_validation(self):
+        with pytest.raises(TypeError):
+            sanitize_csr()
+        with pytest.raises(TypeError):
+            sanitize_csr("nope")
+
+
+class TestMatrixMarketIntegration:
+    def test_truncated_file_structured_error(self):
+        text = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 1.0\n"
+        with pytest.raises(MatrixMarketParseError, match="declared"):
+            loads_matrix_market(text)
+
+    def test_bad_entry_structured_error(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n"
+        with pytest.raises(MatrixMarketParseError, match="bad entry"):
+            loads_matrix_market(text)
+
+    def test_out_of_range_entry_rejected_by_default(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 1.0\n"
+        with pytest.raises((MatrixMarketParseError, CSRSanitizeError)):
+            loads_matrix_market(text)
+
+    def test_out_of_range_entry_dropped_under_repair(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 1.0\n9 1 5.0\n"
+        )
+        m = loads_matrix_market(text, repair=True)
+        assert m.nnz == 1 and m.indices.tolist() == [0]
+
+    def test_duplicate_entries_rejected_then_repaired(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n1 1 1.0\n1 1 2.0\n2 2 4.0\n"
+        )
+        with pytest.raises(CSRSanitizeError):
+            loads_matrix_market(text)
+        m = loads_matrix_market(text, repair=True)
+        assert m.nnz == 2
+        assert m.data.tolist() == [3.0, 4.0]
+
+    def test_nan_data_rejected_then_repaired(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 nan\n2 2 4.0\n"
+        )
+        with pytest.raises(CSRSanitizeError):
+            loads_matrix_market(text)
+        m = loads_matrix_market(text, repair=True)
+        assert m.nnz == 1 and m.data.tolist() == [4.0]

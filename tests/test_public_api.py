@@ -22,6 +22,7 @@ MODULES = [
     "repro.runtime",
     "repro.metrics",
     "repro.suite",
+    "repro.resilience",
 ]
 
 
