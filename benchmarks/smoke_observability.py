@@ -1,0 +1,149 @@
+"""Observability overhead + dormancy gate for CI.
+
+Two promises from the observability layer, checked on a smoke-sized cell:
+
+1. **<2% dormant overhead.**  Disabled instrumentation costs one guard —
+   an attribute read on the module-global state slot, or a local
+   ``is not None`` check — per site.  The gate measures the per-guard cost
+   directly (amortised over a tight loop), takes a *generous upper bound*
+   on the number of guard sites the smoke cell executes (every vertex,
+   every edge, every partition — far more than are actually guarded), and
+   asserts that ``guards x cost_per_guard`` stays under 2% of the measured
+   cell runtime.  Bounding the product, instead of diffing two noisy
+   wall-clock runs, keeps the gate deterministic on shared CI runners.
+
+2. **Byte-identical records when off.**  Two dormant runs of the same
+   harness cell must serialise to byte-identical JSON once wall-clock
+   timing fields are normalised out, and an *enabled* run must match them
+   too — tracing may never perturb a deterministic result field.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_observability.py [budget_ms]
+
+``budget_ms`` bounds the smoke cell's inspector runtime (same spirit as
+``smoke_inspector.py``); the overhead and identity gates are absolute.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.observability.state import STATE, observed
+from repro.suite.harness import Harness
+from repro.suite.matrices import small_suite
+from repro.suite.storage import record_to_blob
+
+DEFAULT_BUDGET_MS = 2000.0
+OVERHEAD_LIMIT = 0.02
+ROUNDS = 3
+
+#: RunRecord fields derived from wall-clock readings — normalised to 0
+#: before byte comparison (they differ between any two runs of anything)
+_TIMING_FIELDS = ("inspector_seconds", "inspector_cycles", "nre", "stage_seconds")
+
+
+def _normalised_json(records) -> str:
+    blobs = []
+    for r in records:
+        blob = record_to_blob(r, encode_floats=False)
+        for f in _TIMING_FIELDS:
+            blob.pop(f, None)
+        blobs.append(blob)
+    return json.dumps(blobs, sort_keys=True)
+
+
+def _guard_cost_seconds(iterations: int = 1_000_000) -> float:
+    """Amortised cost of one dormant guard (`STATE.enabled` read)."""
+    sink = False
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        if STATE.enabled:
+            sink = True  # pragma: no cover - state is dormant here
+    elapsed = time.perf_counter() - t0
+    assert not sink
+    return elapsed / iterations
+
+
+def _run_cell(spec):
+    harness = Harness(machines=["laptop4"], kernels=["sptrsv"])
+    t0 = time.perf_counter()
+    records = harness.run_suite([spec])
+    return records, time.perf_counter() - t0
+
+
+def main(budget_ms: float = DEFAULT_BUDGET_MS) -> int:
+    spec = min(small_suite(), key=lambda s: s.build().n_rows)
+    a = spec.build()
+    n, nnz = a.n_rows, int(a.indptr[-1])
+
+    _run_cell(spec)  # warm-up: imports, allocator, caches
+    best_s = float("inf")
+    runs = []
+    for _ in range(ROUNDS):
+        records, elapsed = _run_cell(spec)
+        runs.append(records)
+        best_s = min(best_s, elapsed)
+
+    # --- gate 1: dormant guard overhead bound -------------------------
+    per_guard = _guard_cost_seconds()
+    # upper bound on guarded events in the cell: one per vertex (executor
+    # busy checks), one per edge (p2p wait checks), plus a wide allowance
+    # for stage spans, dispatch wrappers, and per-partition checks across
+    # every algorithm in the grid
+    n_algorithms = len(runs[0])
+    n_guards = n_algorithms * (n + nnz) + 10_000
+    overhead_s = n_guards * per_guard
+    ratio = overhead_s / best_s
+    print(f"{spec.name}: cell best of {ROUNDS} = {best_s * 1e3:.1f} ms, "
+          f"guard = {per_guard * 1e9:.1f} ns, "
+          f"bound = {n_guards} guards -> {overhead_s * 1e3:.2f} ms "
+          f"({ratio * 100:.2f}% of cell)")
+    ok = True
+    if ratio > OVERHEAD_LIMIT:
+        print(f"FAIL: dormant overhead bound {ratio * 100:.2f}% exceeds "
+              f"{OVERHEAD_LIMIT * 100:.0f}%", file=sys.stderr)
+        ok = False
+
+    # --- gate 2: byte-identical records when off ----------------------
+    baseline = _normalised_json(runs[0])
+    for i, records in enumerate(runs[1:], start=2):
+        if _normalised_json(records) != baseline:
+            print(f"FAIL: dormant run {i} produced different records",
+                  file=sys.stderr)
+            ok = False
+    with observed():
+        traced_records, _ = _run_cell(spec)
+    if _normalised_json(traced_records) != baseline:
+        print("FAIL: enabling observability changed deterministic record "
+              "fields", file=sys.stderr)
+        ok = False
+    else:
+        print(f"records: {len(runs[0])} per run, byte-identical across "
+              f"{ROUNDS} dormant runs and 1 observed run")
+
+    # --- budget (smoke-regression tripwire, same spirit as smoke_inspector)
+    best_ms = best_s * 1e3
+    if best_ms > budget_ms:
+        print(f"FAIL: cell takes {best_ms:.0f} ms, budget is "
+              f"{budget_ms:.0f} ms", file=sys.stderr)
+        ok = False
+    if ok:
+        print(f"OK: within budget of {budget_ms:.0f} ms, overhead bound "
+              f"under {OVERHEAD_LIMIT * 100:.0f}%, records stable")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        budget = float(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_BUDGET_MS
+    except ValueError:
+        print(
+            f"usage: {sys.argv[0]} [budget_ms]  (budget_ms must be a number, "
+            f"got {sys.argv[1]!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    raise SystemExit(main(budget))

@@ -54,6 +54,9 @@ def build_analyze_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering", default="nd", choices=["nd", "rcm", "natural", "random"])
     p.add_argument("--trace", action="store_true",
                    help="also execute through the threaded runtime and check the trace")
+    p.add_argument("--timeline", action="store_true",
+                   help="also collect the simulator's per-core model timeline and "
+                        "report its load-balance / sync summary per combination")
     p.add_argument("--mutate", action="store_true",
                    help="also run the mutation harness and fail on escaped mutants")
     p.add_argument("--max-witnesses", type=int, default=4)
@@ -77,6 +80,7 @@ def analyze_grid(
     ordering: str = "nd",
     trace: bool = False,
     mutate: bool = False,
+    timeline: bool = False,
     max_witnesses: int = 4,
     progress=None,
 ) -> List[Dict]:
@@ -131,6 +135,10 @@ def analyze_grid(
                         row["trace"] = {"ok": run_trace_ok, "detail": trace_detail,
                                         "n_events": len(recorder)}
                         row["ok"] = row["ok"] and run_trace_ok
+                    if timeline:
+                        row["timeline"] = _timeline_one(
+                            schedule, g, cost, kernel, operand, cores
+                        )
                     if mutate:
                         results = run_mutation_suite(schedule, g, fp)
                         escaped = [r.name for r in results if r.escaped]
@@ -166,6 +174,27 @@ def _error_row(matrix: str, kernel: str, algorithm: str, exc: BaseException,
     }
 
 
+def _timeline_one(schedule, g, cost, kernel, operand, cores) -> Dict:
+    """Model-timeline summary for one combination (opt-in via --timeline)."""
+    from ..observability.reports import sync_breakdown
+    from ..runtime.machine import MACHINES
+    from ..runtime.simulator import simulate
+
+    memory = kernel.memory_model(operand, g)
+    sim = simulate(schedule, g, cost, memory, MACHINES["intel20"].scaled(cores),
+                   collect_timeline=True)
+    breakdown = sync_breakdown(sim.timeline, top=3)
+    return {
+        "model_pg": sim.timeline.measured_pg(),
+        "makespan_cycles": sim.makespan_cycles,
+        "busy_cycles": breakdown["busy"],
+        "barrier_wait_cycles": breakdown["barrier_wait"],
+        "p2p_wait_cycles": breakdown["p2p_wait"],
+        "idle_cycles": breakdown["idle"],
+        "top_dependences": breakdown["top_dependences"],
+    }
+
+
 def _trace_one(schedule, g, cost, recorder) -> tuple:
     """Threaded no-op execution + vector-clock replay of the trace."""
     from ..runtime.threaded import ThreadedExecutionError, run_threaded
@@ -198,6 +227,9 @@ def _format_row(row: Dict) -> str:
         extra += f" mutants={m['caught']}/{m['applied']}"
         if m["escaped"]:
             extra += f" escaped={','.join(m['escaped'])}"
+    if "timeline" in row:
+        t = row["timeline"]
+        extra += f" model-pg={t['model_pg']:.3f}"
     return (
         f"{row['matrix']:>14s} {row['kernel']:>7s} {row['algorithm']:>9s} "
         f"{status:>4s} ({row['seconds'] * 1e3:7.1f} ms){extra}"
@@ -236,6 +268,7 @@ def analyze_main(argv=None) -> int:
         ordering=args.ordering,
         trace=args.trace,
         mutate=args.mutate,
+        timeline=args.timeline,
         max_witnesses=args.max_witnesses,
         progress=lambda row: print(_format_row(row), flush=True),
     )

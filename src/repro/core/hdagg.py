@@ -22,6 +22,7 @@ exist for the ablation studies; the defaults are the paper's algorithm.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List
 
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from ..graph.coarsen import Grouping, coarsen_dag, identity_grouping
 from ..graph.dag import DAG, gather_slices
 from ..graph.transitive_reduction import transitive_reduction_two_hop
+from ..observability.state import STATE as _OBS_STATE
 from ..runtime.perf import StageTimer
 from ..sparse.csr import INDEX_DTYPE
 from .aggregation import subtree_grouping
@@ -37,6 +39,14 @@ from .pgp import DEFAULT_EPSILON
 from .schedule import Schedule, WidthPartition
 
 __all__ = ["hdagg", "expand_lbp_to_schedule"]
+
+#: shared no-op context manager for the disabled-observability path
+_NULL_CM = nullcontext()
+
+
+def _span(name: str, **attrs):
+    """An ``inspect/<stage>`` span when observability is on, else a no-op."""
+    return _OBS_STATE.tracer.span(name, **attrs) if _OBS_STATE.enabled else _NULL_CM
 
 
 def _expand_bin(grouping: Grouping, coarse_ids: np.ndarray) -> np.ndarray:
@@ -178,24 +188,26 @@ def hdagg(
     timer = StageTimer()
     # ---------------- Step 1 (Lines 1-20) ----------------
     if aggregate:
-        with timer.stage("transitive_reduction"):
+        with timer.stage("transitive_reduction"), _span(
+            "inspect/transitive_reduction", n=g.n, n_edges=g.n_edges
+        ):
             g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
         cap = (
             group_cost_cap_fraction * float(cost.sum()) / p
             if group_cost_cap_fraction is not None
             else None
         )
-        with timer.stage("aggregation"):
+        with timer.stage("aggregation"), _span("inspect/aggregation"):
             grouping = subtree_grouping(g_base, cost, cap)
     else:
         g_base = g
         grouping = identity_grouping(g.n)
-    with timer.stage("coarsen"):
+    with timer.stage("coarsen"), _span("inspect/coarsen"):
         g2 = coarsen_dag(g_base, grouping)
         group_cost = grouping.group_costs(cost)
 
     # ---------------- Step 2 (Lines 21-38) ----------------
-    with timer.stage("lbp"):
+    with timer.stage("lbp"), _span("inspect/lbp", n_coarse=g2.n, epsilon=epsilon):
         lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
     if not bin_pack:
         lbp.fine_grained = True
@@ -211,9 +223,24 @@ def hdagg(
         "cut_positions": lbp.cut_positions,
         "epsilon": epsilon,
     }
-    with timer.stage("expand"):
+    with timer.stage("expand"), _span("inspect/expand"):
         schedule = expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)
     # per-stage seconds for NRE-style reporting; to_dict() drops non-JSON
     # meta values, so this never leaks into serialized schedules
     schedule.meta["stage_seconds"] = timer.as_dict()
+    if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+        # metrics are recorded post-hoc from the LBP decision log / packing
+        # results, so the inspector hot loops stay untouched
+        reg = _OBS_STATE.registry
+        reg.counter("inspector.vertices").inc(g.n)
+        reg.counter("inspector.vertices_coarsened").inc(g.n - g2.n)
+        reg.gauge("inspector.coarse_vertices").set(g2.n)
+        reg.gauge("inspector.accumulated_pgp").set(lbp.accumulated_pgp)
+        pgp_hist = reg.histogram("inspector.pgp_at_merge")
+        for decision in lbp.decisions or []:
+            pgp_hist.observe(decision.pgp)
+        occupancy = reg.histogram("binpack.occupancy")
+        for cw in lbp.coarsened:
+            if cw.packing is not None and p > 0:
+                occupancy.observe(cw.packing.n_bins_used / p)
     return schedule

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..graph.dag import DAG
+from ..observability.state import STATE as _OBS_STATE
 from ..resilience.faults import fault_point
 from .schedule import Schedule
 
@@ -112,9 +113,13 @@ class ScheduleCache:
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
+            if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                _OBS_STATE.registry.counter("schedule_cache.misses").inc()
             return None
         self._entries.move_to_end(key)
         self._hits += 1
+        if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+            _OBS_STATE.registry.counter("schedule_cache.hits").inc()
         injected = fault_point("schedule_cache.get", payload=entry, label=key)
         if injected is not None:
             return injected

@@ -53,6 +53,7 @@ __all__ = [
     "fault_point",
     "active_plan",
     "armed",
+    "set_fault_observer",
     "corrupt_csr_arrays",
     "corrupt_schedule",
 ]
@@ -227,6 +228,10 @@ class FaultPlan:
                 return None
             for spec in matched:
                 self.fired.append(FaultEvent(site, spec.action, occurrence, label))
+        observer = _OBSERVER
+        if observer is not None:
+            for spec in matched:
+                observer(site, spec.action, label)
         result = None
         for spec in matched:
             if spec.action == "raise":
@@ -325,6 +330,18 @@ def corrupt_schedule(schedule, rng: random.Random):
 # the global hook
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[FaultPlan] = None
+
+#: Optional ``(site, action, label) -> None`` callback invoked for every
+#: *fired* fault.  The observability layer installs a metrics counter here
+#: (:mod:`repro.observability.state`); keeping it an injected callable
+#: preserves this module's no-repro-imports layering.
+_OBSERVER = None
+
+
+def set_fault_observer(observer) -> None:
+    """Install (or clear, with ``None``) the fired-fault callback."""
+    global _OBSERVER
+    _OBSERVER = observer
 
 
 def fault_point(site: str, *, payload: Any = None, label: Optional[str] = None) -> Any:

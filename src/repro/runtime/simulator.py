@@ -50,13 +50,14 @@ what a work-stealing OpenMP runtime achieves — then simulated as usual.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.schedule import Schedule, WidthPartition
 from ..graph.dag import DAG
 from ..kernels.memory import MemoryModel
+from ..observability.timeline import CoreTimeline, TimelineRecorder
 from ..sparse.csr import INDEX_DTYPE
 from .machine import MachineConfig
 
@@ -81,6 +82,9 @@ class SimulationResult:
     #: Per-level spans (slowest core per coarsened wavefront) for barrier
     #: schedules; empty for p2p schedules (no level boundaries at run time).
     level_spans: list = None
+    #: Deterministic per-core model timeline (``CoreTimeline`` in cycles)
+    #: when ``simulate(..., collect_timeline=True)``; ``None`` otherwise.
+    timeline: Optional[CoreTimeline] = None
 
     @property
     def total_accesses(self) -> int:
@@ -298,8 +302,18 @@ def simulate(
     cost: np.ndarray,
     memory: MemoryModel,
     machine: MachineConfig,
+    *,
+    collect_timeline: bool = False,
 ) -> SimulationResult:
-    """Simulate one schedule on one machine model; see module docstring."""
+    """Simulate one schedule on one machine model; see module docstring.
+
+    With ``collect_timeline=True`` the result additionally carries a
+    deterministic :class:`~repro.observability.timeline.CoreTimeline` in
+    model cycles — per-partition ``busy`` segments, ``barrier_wait`` for
+    early finishers and barrier crossings, ``p2p_wait`` attributed to the
+    blocking dependence — consistent with ``core_busy_cycles`` and
+    ``makespan_cycles`` by construction.
+    """
     cost = np.asarray(cost, dtype=np.float64)
     memory.validate(g)
     schedule = bind_dynamic_partitions(schedule, cost)
@@ -329,6 +343,10 @@ def simulate(
     busy = np.zeros(p, dtype=np.float64)
     n_p2p = 0
     sync_cycles = 0.0
+    recorder = None
+    if collect_timeline:
+        recorder = TimelineRecorder()
+        recorder.open(p)
 
     level_spans: list = []
     if schedule.sync == "barrier":
@@ -353,6 +371,43 @@ def simulate(
         n_barriers = max(0, n_levels_nonempty - 1)
         sync_cycles = n_barriers * machine.barrier_cycles
         makespan += sync_cycles
+        if recorder is not None and n_parts:
+            # timeline pass (off the vectorized path, opt-in only): replay
+            # the same level accounting into per-partition segments
+            ne = nonempty.tolist()
+            level_start = {}
+            t = 0.0
+            for i, lvl in enumerate(ne):
+                level_start[lvl] = t
+                t += float(spans[i])
+                if i < len(ne) - 1:
+                    t += machine.barrier_cycles
+            cursors: dict = {}
+            for k in range(n_parts):
+                lvl = int(part_level[k])
+                c = int(part_core_mod[k])
+                w = float(w_part[k])
+                cur = cursors.setdefault((lvl, c), level_start[lvl])
+                if w > 0.0:
+                    recorder.record(
+                        c, "busy", cur, cur + w,
+                        vertex=int(verts_all[part_ptr[k]]), level=lvl,
+                    )
+                cursors[(lvl, c)] = cur + w
+            for i, lvl in enumerate(ne):
+                end = level_start[lvl] + float(spans[i])
+                for c in range(p):
+                    fin = cursors.get((lvl, c), level_start[lvl])
+                    if end > fin:  # early finisher stalls at the barrier
+                        recorder.record(c, "barrier_wait", fin, end, level=lvl)
+                if i < len(ne) - 1 and machine.barrier_cycles > 0.0:
+                    for c in range(p):
+                        recorder.record(
+                            c, "barrier_wait", end, end + machine.barrier_cycles,
+                            level=lvl,
+                        )
+        if recorder is not None:
+            recorder.wall_t0, recorder.wall_t1 = 0.0, makespan
     else:  # p2p
         n_barriers = 0
         dep_src, dep_dst = _p2p_dependencies(schedule, g)
@@ -374,6 +429,7 @@ def simulate(
             w = w_list[k]
             deps = dep_src_sorted[dep_ptr_list[k] : dep_ptr_list[k + 1]]
             start = core_clock[c]
+            blocking = -1
             if deps.size:
                 cross_core = part_core_mod[deps] != c
                 n_cross = int(np.count_nonzero(cross_core))
@@ -382,11 +438,31 @@ def simulate(
                 dep_finish = finish[deps] + np.where(
                     cross_core, machine.p2p_sync_cycles, 0.0
                 )
-                start = max(start, float(dep_finish.max()))
+                dep_max = float(dep_finish.max())
+                if recorder is not None and dep_max > start:
+                    blocking = int(deps[int(np.argmax(dep_finish))])
+                start = max(start, dep_max)
+            if recorder is not None:
+                if start > core_clock[c]:  # stalled on the blocking dependence
+                    recorder.record(
+                        c, "p2p_wait", float(core_clock[c]), start,
+                        vertex=int(verts_all[part_ptr[k]])
+                        if part_ptr[k + 1] > part_ptr[k] else -1,
+                        dependence=int(verts_all[part_ptr[blocking]])
+                        if blocking >= 0 else -1,
+                    )
+                if w > 0.0:
+                    recorder.record(
+                        c, "busy", start, start + w,
+                        vertex=int(verts_all[part_ptr[k]])
+                        if part_ptr[k + 1] > part_ptr[k] else -1,
+                    )
             finish[k] = start + w
             core_clock[c] = finish[k]
             busy[c] += w
         makespan = float(core_clock.max()) if n_parts else 0.0
+        if recorder is not None:
+            recorder.wall_t0, recorder.wall_t1 = 0.0, makespan
 
     return SimulationResult(
         algorithm=schedule.algorithm,
@@ -401,4 +477,5 @@ def simulate(
         hit_cycles=machine.hit_cycles,
         miss_cycles=effective_miss,
         level_spans=level_spans,
+        timeline=recorder.finalize() if recorder is not None else None,
     )

@@ -28,18 +28,31 @@ published, ``acquire`` after a p2p spin observes a flag, ``barrier`` after
 each wavefront barrier — which
 :func:`repro.analysis.tracecheck.check_trace` replays through vector
 clocks to certify the ordering of the run itself.
+
+Passing ``timeline=`` (a
+:class:`repro.observability.TimelineRecorder`) collects the per-core
+wall-clock timeline instead: ``busy`` per vertex, ``barrier_wait`` at each
+level barrier, and ``p2p_wait`` carrying the ``(vertex, dependence)`` pair
+a spin was blocked on — point-to-point wait attribution.  When the ambient
+observability state is enabled (``hdagg-bench trace``), workers also emit
+``execute/wavefront[k]`` / ``execute/partition[k,core]`` spans.  Both are
+strictly opt-in; the dormant cost is one ``None``/attribute check per
+guarded site.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.schedule import Schedule
 from ..graph.dag import DAG
+from ..observability.state import STATE as _OBS_STATE
+from ..observability.timeline import TimelineRecorder
 from ..resilience.faults import fault_point
 from .simulator import bind_dynamic_partitions
 
@@ -48,6 +61,9 @@ __all__ = ["run_threaded", "ThreadedExecutionError"]
 #: p2p spins between global-progress probes (keeps ``done.sum()`` off the
 #: hot path while bounding deadlock-detection latency).
 _PROBE_INTERVAL = 256
+
+#: shared reusable no-op context manager for the disabled-tracer path
+_NULL_CM = nullcontext()
 
 
 class ThreadedExecutionError(RuntimeError):
@@ -81,6 +97,7 @@ def run_threaded(
     spin_yield: bool = True,
     deadlock_timeout: float = 30.0,
     trace=None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> None:
     """Execute ``process_vertex(v)`` for every vertex under the schedule.
 
@@ -131,6 +148,11 @@ def run_threaded(
                         dependence=int(u),
                     )
             else:
+                # p2p wait attribution: only an actual stall (flag not yet
+                # published) opens a segment — satisfied deps cost nothing
+                wait_t0 = (
+                    timeline.clock() if timeline is not None and not done[u] else None
+                )
                 spins = 0
                 stall_t0 = time.monotonic()
                 stall_done = -1
@@ -158,30 +180,67 @@ def run_threaded(
                             )
                     if spin_yield:
                         threading.Event().wait(0)  # yield
+                if wait_t0 is not None:
+                    timeline.record(
+                        core, "p2p_wait", wait_t0, timeline.clock(),
+                        vertex=v, dependence=int(u),
+                    )
                 if trace is not None:
                     trace.record("acquire", core, int(u))
 
     def worker(core: int) -> None:
         current = -1
+        tracer = _OBS_STATE.tracer if _OBS_STATE.enabled else None
         try:
             for k in range(len(plan)):
-                for vertices in plan[k][core]:
-                    for v in vertices.tolist():
-                        current = v
-                        # chaos hooks: a targeted core can be stalled (the
-                        # peers' p2p deadlock detector must then fire with
-                        # the stuck triple) or crashed outright
-                        fault_point("executor.stall", label=str(core))
-                        fault_point("executor.worker", label=str(core))
-                        wait_for(v, core)
-                        process_vertex(v)
-                        if trace is not None:
-                            # exec is recorded before the flag is published so
-                            # any observed flag implies a logged exec event
-                            trace.record("exec", core, v)
-                        done[v] = True
+                wf_cm = (
+                    tracer.span(f"execute/wavefront[{k}]", level=k, sync=schedule.sync)
+                    if tracer is not None and core == 0
+                    else _NULL_CM
+                )
+                with wf_cm:
+                    for vertices in plan[k][core]:
+                        part_cm = (
+                            tracer.span(
+                                f"execute/partition[{k},{core}]",
+                                level=k, core=core,
+                                n_vertices=int(vertices.shape[0]),
+                            )
+                            if tracer is not None
+                            else _NULL_CM
+                        )
+                        with part_cm:
+                            for v in vertices.tolist():
+                                current = v
+                                # chaos hooks: a targeted core can be stalled
+                                # (the peers' p2p deadlock detector must then
+                                # fire with the stuck triple) or crashed
+                                fault_point("executor.stall", label=str(core))
+                                fault_point("executor.worker", label=str(core))
+                                wait_for(v, core)
+                                busy_t0 = (
+                                    timeline.clock() if timeline is not None else None
+                                )
+                                process_vertex(v)
+                                if busy_t0 is not None:
+                                    timeline.record(
+                                        core, "busy", busy_t0, timeline.clock(),
+                                        vertex=v, level=k,
+                                    )
+                                if trace is not None:
+                                    # exec is recorded before the flag is
+                                    # published so any observed flag implies a
+                                    # logged exec event
+                                    trace.record("exec", core, v)
+                                done[v] = True
                 if use_barrier:
+                    barrier_t0 = timeline.clock() if timeline is not None else None
                     barrier.wait()
+                    if barrier_t0 is not None:
+                        timeline.record(
+                            core, "barrier_wait", barrier_t0, timeline.clock(),
+                            level=k,
+                        )
                     if trace is not None:
                         trace.record("barrier", core, k)
         except BaseException as exc:  # propagate to the caller
@@ -191,10 +250,15 @@ def run_threaded(
                 barrier.abort()
 
     threads = [threading.Thread(target=worker, args=(c,)) for c in range(p)]
+    if timeline is not None:
+        timeline.open(p)
+        timeline.wall_t0 = timeline.clock()
     for t in threads:
         t.start()
     for t in threads:
         t.join()
+    if timeline is not None:
+        timeline.wall_t1 = timeline.clock()
     if errors:
         core, vertex, first = errors[0]
         if isinstance(first, threading.BrokenBarrierError):

@@ -8,11 +8,13 @@ uniformly.  The registry at the bottom maps names to callables.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, List
 
 import numpy as np
 
 from ..core.schedule import WidthPartition
+from ..observability.state import STATE as _OBS_STATE
 from ..sparse.csr import INDEX_DTYPE
 
 __all__ = ["chunk_by_cost", "chunk_by_count", "SCHEDULERS", "register_scheduler", "get_scheduler"]
@@ -65,10 +67,34 @@ SCHEDULERS: Dict[str, Callable] = {}
 
 
 def register_scheduler(name: str) -> Callable:
-    """Decorator adding a builder to :data:`SCHEDULERS`."""
+    """Decorator adding a builder to :data:`SCHEDULERS`.
+
+    The registry entry is wrapped with an ``inspect/<name>`` span and a
+    per-inspector run counter when the ambient observability state is on
+    (``hdagg-bench trace``); disabled, the wrapper costs one attribute
+    read.  The decorated function itself is returned unwrapped, so direct
+    module-level calls (and the inspectors' own internal reuse of each
+    other) stay uninstrumented — only registry dispatch is observed.
+    """
 
     def deco(fn: Callable) -> Callable:
-        SCHEDULERS[name] = fn
+        @functools.wraps(fn)
+        def dispatch(*args, **options):
+            if not _OBS_STATE.enabled:
+                return fn(*args, **options)
+            attrs = {}
+            if args:
+                attrs["n"] = int(getattr(args[0], "n", -1))
+            p = options.get("p", args[2] if len(args) > 2 else None)
+            if p is not None:
+                attrs["p"] = int(p)
+            with _OBS_STATE.tracer.span(f"inspect/{name}", **attrs):
+                schedule = fn(*args, **options)
+            if _OBS_STATE.registry is not None:
+                _OBS_STATE.registry.counter(f"inspector.runs.{name}").inc()
+            return schedule
+
+        SCHEDULERS[name] = dispatch
         return fn
 
     return deco

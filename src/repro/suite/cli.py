@@ -119,6 +119,10 @@ def main(argv=None) -> int:
         from ..analysis.cli import analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from ..observability.trace_cli import trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for s in SUITE:

@@ -37,6 +37,7 @@ import multiprocessing
 import time
 import traceback
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -51,6 +52,7 @@ from ..metrics.load_balance import imbalance_ratio
 from ..metrics.nre import inspector_cost_model, nre
 from ..metrics.parallelism import dag_shape
 from ..metrics.synchronization import equivalent_p2p_syncs
+from ..observability.state import STATE as _OBS_STATE
 from ..resilience.degrade import inspect_with_fallback
 from ..resilience.failures import FailureRecord
 from ..resilience.faults import fault_point
@@ -75,6 +77,14 @@ __all__ = [
 
 #: The paper's comparison set (MKL is SpTRSV-only, handled by the harness).
 DEFAULT_ALGORITHMS = ("hdagg", "spmp", "wavefront", "lbc", "dagp", "mkl")
+
+#: shared no-op context manager for the disabled-observability path
+_NULL_CM = nullcontext()
+
+
+def _span(name: str, **attrs):
+    """A harness-level span when observability is on, else a no-op."""
+    return _OBS_STATE.tracer.span(name, **attrs) if _OBS_STATE.enabled else _NULL_CM
 
 
 @dataclass
@@ -231,6 +241,10 @@ class Harness:
     # ------------------------------------------------------------------
     def prepare(self, spec: MatrixSpec) -> MatrixContext:
         """Build, sanitize, reorder, and derive kernel artefacts for one matrix."""
+        with _span(f"suite/prepare[{spec.name}]"):
+            return self._prepare(spec)
+
+    def _prepare(self, spec: MatrixSpec) -> MatrixContext:
         raw = spec.build()
         injected = fault_point("harness.prepare", payload=raw, label=spec.name)
         sanitize_report: Optional[SanitizeReport] = None
@@ -273,6 +287,10 @@ class Harness:
     # ------------------------------------------------------------------
     def run_matrix(self, spec: MatrixSpec) -> List[RunRecord]:
         """All records for one matrix across the configured grid."""
+        with _span(f"suite/matrix[{spec.name}]"):
+            return self._run_matrix_grid(spec)
+
+    def _run_matrix_grid(self, spec: MatrixSpec) -> List[RunRecord]:
         fault_point("suite.matrix", label=spec.name)
         ctx = self.prepare(spec)
         records: List[RunRecord] = []
@@ -291,6 +309,10 @@ class Harness:
 
             for algo in self._algorithms_for(kname):
                 for machine in self.machines:
+                    if _OBS_STATE.enabled:
+                        _OBS_STATE.tracer.instant(
+                            f"suite/cell[{spec.name},{kname},{algo},{machine.name}]"
+                        )
                     uses_epsilon = algo in ("hdagg", "lbc")
                     key = None
                     cached = None
@@ -394,7 +416,16 @@ class Harness:
                             schedule_partitions=schedule.n_partitions,
                             fine_grained=schedule.fine_grained,
                             inspector_seconds=inspector_seconds,
-                            stage_seconds=dict(schedule.meta.get("stage_seconds", {})),
+                            # a cache hit never re-ran the inspector stages:
+                            # copying the producer's stale stage timings here
+                            # would make sum(stage_seconds) exceed the
+                            # measured inspector_seconds, so a hit reports
+                            # only the re-verification it actually paid for
+                            stage_seconds=(
+                                {"verify": inspector_seconds}
+                                if cached is not None
+                                else dict(schedule.meta.get("stage_seconds", {}))
+                            ),
                             schedule_cached=cached is not None,
                             degraded=degraded,
                             degraded_from=degraded_from,

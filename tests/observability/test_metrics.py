@@ -1,0 +1,133 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 3.5
+    assert c.as_dict() == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_tracks_value_and_watermarks():
+    g = Gauge("x")
+    assert g.as_dict() == {"type": "gauge", "value": None, "min": None, "max": None}
+    g.set(5)
+    g.set(-2)
+    g.set(3)
+    assert g.value == 3.0
+    assert g.min == -2.0 and g.max == 5.0
+
+
+def test_histogram_summary_statistics():
+    h = Histogram("x", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == 55.5
+    assert h.min == 0.5 and h.max == 50.0
+    assert h.mean == pytest.approx(18.5)
+    # one observation per bucket: <=1, <=10, +inf overflow
+    assert h.bucket_counts == [1, 1, 1]
+
+
+def test_histogram_bucket_edges_are_inclusive_upper_bounds():
+    h = Histogram("x", buckets=(1.0, 10.0))
+    h.observe(1.0)
+    h.observe(10.0)
+    assert h.bucket_counts == [1, 1, 0]
+
+
+def test_histogram_sorts_buckets_and_rejects_empty():
+    h = Histogram("x", buckets=(10.0, 1.0))
+    assert h.buckets == (1.0, 10.0)
+    with pytest.raises(ValueError):
+        Histogram("y", buckets=())
+
+
+def test_histogram_default_buckets_shape():
+    h = Histogram("x")
+    assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+    assert len(h.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+    assert h.mean == 0.0  # no observations yet
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_create_on_first_use_returns_same_instrument():
+    reg = MetricsRegistry()
+    c1 = reg.counter("inspector.runs")
+    c1.inc()
+    c2 = reg.counter("inspector.runs")
+    assert c1 is c2
+    assert c2.value == 1.0
+
+
+def test_registry_type_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("a.b")
+    with pytest.raises(TypeError):
+        reg.gauge("a.b")
+    with pytest.raises(TypeError):
+        reg.histogram("a.b")
+
+
+def test_registry_names_sorted_and_membership():
+    reg = MetricsRegistry()
+    reg.gauge("z.last")
+    reg.counter("a.first")
+    assert reg.names() == ["a.first", "z.last"]
+    assert "a.first" in reg and "missing" not in reg
+    assert len(reg) == 2
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_registry_as_dict_and_to_json():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    doc = json.loads(reg.to_json())
+    assert doc["version"] == 1
+    m = doc["metrics"]
+    assert list(m) == ["c", "g", "h"]  # sorted by name
+    assert m["c"] == {"type": "counter", "value": 2.0}
+    assert m["g"]["type"] == "gauge" and m["g"]["value"] == 1.5
+    assert m["h"]["type"] == "histogram" and m["h"]["count"] == 1
+
+
+def test_registry_concurrent_increments_are_lossless():
+    reg = MetricsRegistry()
+    n, per = 8, 500
+
+    def worker():
+        for _ in range(per):
+            reg.counter("hits").inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("hits").value == n * per

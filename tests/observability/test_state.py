@@ -1,0 +1,108 @@
+"""Unit tests for the ambient observability state and its integrations."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import NULL_TRACER, Tracer
+from repro.observability.state import (
+    STATE,
+    current_registry,
+    current_tracer,
+    disable,
+    enable,
+    is_enabled,
+    observed,
+)
+from repro.resilience import faults as faults_mod
+from repro.resilience.faults import FaultPlan, FaultSpec, armed, fault_point
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Every test starts and ends with the ambient state off."""
+    disable()
+    yield
+    disable()
+
+
+def test_disabled_is_the_default_contract():
+    assert is_enabled() is False
+    assert current_tracer() is NULL_TRACER
+    assert current_registry() is None
+
+
+def test_enable_installs_fresh_tracer_and_registry():
+    tracer, registry = enable()
+    assert is_enabled() is True
+    assert isinstance(tracer, Tracer)
+    assert isinstance(registry, MetricsRegistry)
+    assert current_tracer() is tracer
+    assert current_registry() is registry
+    disable()
+    assert current_tracer() is NULL_TRACER
+    assert current_registry() is None
+
+
+def test_enable_accepts_caller_objects():
+    my_tracer, my_registry = Tracer(), MetricsRegistry()
+    tracer, registry = enable(my_tracer, my_registry)
+    assert tracer is my_tracer and registry is my_registry
+    assert STATE.tracer is my_tracer
+
+
+def test_observed_restores_prior_state():
+    with observed() as (tracer, registry):
+        assert is_enabled() is True
+        with tracer.span("inspect/x"):
+            registry.counter("c").inc()
+    assert is_enabled() is False
+    assert current_tracer() is NULL_TRACER
+    # the objects survive the block for post-hoc inspection
+    assert [s.name for s in tracer.spans] == ["inspect/x"]
+    assert registry.counter("c").value == 1.0
+
+
+def test_observed_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with observed():
+            raise RuntimeError("boom")
+    assert is_enabled() is False
+
+
+def test_observed_nests_and_restores_outer_pair():
+    with observed() as (outer_tracer, outer_registry):
+        with observed() as (inner_tracer, _):
+            assert STATE.tracer is inner_tracer
+        assert STATE.tracer is outer_tracer
+        assert STATE.registry is outer_registry
+        assert is_enabled() is True
+    assert is_enabled() is False
+
+
+def test_fault_observer_counts_fired_faults():
+    plan = FaultPlan([FaultSpec("inspector", "raise", at=0)])
+    with observed() as (_, registry):
+        with armed(plan):
+            with pytest.raises(faults_mod.FaultError):
+                fault_point("inspector", label="mesh2d-s")
+    assert registry.counter("resilience.faults_fired").value == 1.0
+    assert registry.counter("resilience.faults_fired.inspector").value == 1.0
+
+
+def test_fault_observer_ignores_unfired_occurrences():
+    plan = FaultPlan([FaultSpec("inspector", "raise", at=5)])
+    with observed() as (_, registry):
+        with armed(plan):
+            fault_point("inspector")  # occurrence 0: does not fire
+    assert "resilience.faults_fired" not in registry
+
+
+def test_fault_observer_uninstalled_after_observed():
+    with observed():
+        assert faults_mod._OBSERVER is not None
+    assert faults_mod._OBSERVER is None
+    # and firing a fault outside observed() must not touch any registry
+    plan = FaultPlan([FaultSpec("inspector", "raise", at=0)])
+    with armed(plan):
+        with pytest.raises(faults_mod.FaultError):
+            fault_point("inspector")

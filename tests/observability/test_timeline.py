@@ -1,0 +1,148 @@
+"""Unit tests for per-core timelines: recording, idle derivation, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.observability.timeline import (
+    SEGMENT_KINDS,
+    CoreTimeline,
+    Segment,
+    TimelineRecorder,
+)
+
+
+def test_segment_kinds_order_and_membership():
+    assert SEGMENT_KINDS == ("busy", "barrier_wait", "p2p_wait", "idle")
+
+
+def test_record_rejects_idle_and_unknown_kinds():
+    rec = TimelineRecorder()
+    with pytest.raises(ValueError):
+        rec.record(0, "idle", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        rec.record(0, "working", 0.0, 1.0)
+
+
+def test_finalize_derives_idle_gaps_and_covers_wall():
+    rec = TimelineRecorder()
+    rec.open(2)
+    rec.wall_t0, rec.wall_t1 = 0.0, 10.0
+    rec.record(0, "busy", 1.0, 4.0, vertex=7, level=0)
+    rec.record(0, "barrier_wait", 4.0, 6.0, level=0)
+    rec.record(1, "busy", 0.0, 2.0, vertex=3, level=0)
+    tl = rec.finalize()
+    tl.check_invariants()
+    assert tl.wall == 10.0
+    assert tl.n_cores == 2
+    kinds0 = [s.kind for s in tl.cores[0]]
+    assert kinds0 == ["idle", "busy", "barrier_wait", "idle"]
+    kinds1 = [s.kind for s in tl.cores[1]]
+    assert kinds1 == ["busy", "idle"]
+    # derived idle exactly complements the recorded segments
+    assert tl.seconds_by_kind(0) == {"busy": 3.0, "barrier_wait": 2.0,
+                                     "p2p_wait": 0.0, "idle": 5.0}
+    assert tl.seconds_by_kind(1)["idle"] == 8.0
+
+
+def test_finalize_sorts_out_of_order_records():
+    rec = TimelineRecorder()
+    rec.open(1)
+    rec.wall_t0, rec.wall_t1 = 0.0, 5.0
+    rec.record(0, "busy", 3.0, 4.0)
+    rec.record(0, "busy", 1.0, 2.0)
+    tl = rec.finalize()
+    tl.check_invariants()
+    assert [(s.t0, s.t1) for s in tl.cores[0] if s.kind == "busy"] == [(1.0, 2.0), (3.0, 4.0)]
+
+
+def test_finalize_without_wall_stamps_uses_segment_envelope():
+    rec = TimelineRecorder()
+    rec.record(0, "busy", 2.0, 3.0)
+    rec.record(1, "busy", 1.0, 5.0)
+    tl = rec.finalize()
+    assert tl.wall_t0 == 1.0 and tl.wall_t1 == 5.0
+    tl.check_invariants()
+
+
+def test_finalize_empty_recorder_is_degenerate_but_valid():
+    tl = TimelineRecorder().finalize()
+    assert tl.wall == 0.0
+    assert tl.n_cores == 0
+    tl.check_invariants()
+    assert tl.measured_pg() == 0.0
+    assert tl.busy_per_core().size == 0
+
+
+def test_open_preregisters_empty_cores():
+    rec = TimelineRecorder()
+    rec.open(3)
+    rec.wall_t0, rec.wall_t1 = 0.0, 1.0
+    rec.record(0, "busy", 0.0, 1.0)
+    tl = rec.finalize()
+    assert sorted(tl.cores) == [0, 1, 2]
+    # cores that never worked are pure idle
+    assert [s.kind for s in tl.cores[2]] == ["idle"]
+    assert tl.utilization() == {0: 1.0, 1: 0.0, 2: 0.0}
+
+
+def test_busy_per_core_and_measured_pg():
+    rec = TimelineRecorder()
+    rec.open(2)
+    rec.wall_t0, rec.wall_t1 = 0.0, 4.0
+    rec.record(0, "busy", 0.0, 4.0)
+    rec.record(1, "busy", 0.0, 2.0)
+    tl = rec.finalize()
+    assert np.array_equal(tl.busy_per_core(), np.array([4.0, 2.0]))
+    # PG = 1 - mean/max = 1 - 3/4
+    assert tl.measured_pg() == pytest.approx(0.25)
+
+
+def test_wait_attribution_lists_p2p_segments_with_dependences():
+    rec = TimelineRecorder()
+    rec.open(2)
+    rec.wall_t0, rec.wall_t1 = 0.0, 3.0
+    rec.record(1, "p2p_wait", 0.0, 1.0, vertex=5, dependence=2)
+    rec.record(1, "busy", 1.0, 2.0, vertex=5)
+    tl = rec.finalize()
+    (w,) = tl.wait_attribution()
+    assert w.kind == "p2p_wait"
+    assert (w.vertex, w.dependence) == (5, 2)
+
+
+def test_check_invariants_catches_overlap():
+    tl = CoreTimeline(
+        cores={0: [Segment(0, "busy", 0.0, 2.0), Segment(0, "busy", 1.0, 3.0)]},
+        wall_t0=0.0,
+        wall_t1=3.0,
+    )
+    with pytest.raises(AssertionError):
+        tl.check_invariants()
+
+
+def test_check_invariants_catches_gap():
+    tl = CoreTimeline(
+        cores={0: [Segment(0, "busy", 0.0, 1.0)]},  # [1,3] uncovered
+        wall_t0=0.0,
+        wall_t1=3.0,
+    )
+    with pytest.raises(AssertionError):
+        tl.check_invariants()
+
+
+def test_segment_as_dict_omits_unset_attributions():
+    full = Segment(0, "p2p_wait", 0.0, 1.0, vertex=4, dependence=1, level=2)
+    assert full.as_dict() == {"core": 0, "kind": "p2p_wait", "t0": 0.0, "t1": 1.0,
+                              "vertex": 4, "dependence": 1, "level": 2}
+    bare = Segment(1, "idle", 0.0, 1.0)
+    assert bare.as_dict() == {"core": 1, "kind": "idle", "t0": 0.0, "t1": 1.0}
+
+
+def test_timeline_as_dict_is_json_shaped():
+    rec = TimelineRecorder()
+    rec.open(1)
+    rec.wall_t0, rec.wall_t1 = 0.0, 2.0
+    rec.record(0, "busy", 0.0, 1.0, vertex=0)
+    d = rec.finalize().as_dict()
+    assert d["wall_t0"] == 0.0 and d["wall_t1"] == 2.0
+    assert list(d["cores"]) == ["0"]
+    assert [s["kind"] for s in d["cores"]["0"]] == ["busy", "idle"]

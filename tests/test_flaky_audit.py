@@ -1,0 +1,64 @@
+"""Flaky-marker audit (satellite S5): keep the chaos job deterministic.
+
+The chaos CI job runs with ``-m "not flaky"`` so a known-nondeterministic
+test can be quarantined without turning fault-injection CI red.  That
+escape hatch only stays honest if its use is audited: every
+``@pytest.mark.flaky`` in the tree must appear in :data:`FLAKY_ALLOWLIST`
+below with a written reason, and the marker must stay registered (with
+``--strict-markers``) so a typo cannot silently opt a test out.
+
+Adding a flaky marker therefore forces a diff in this file — which is the
+review point where "is this actually nondeterministic, or just broken?"
+gets asked.
+"""
+
+import re
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).parent
+
+#: (relative test file) -> reason a flaky marker is tolerated there.
+#: Empty today — the whole suite is deterministic (seeded RNGs, injected
+#: clocks, deterministic fault plans) and should stay that way.
+FLAKY_ALLOWLIST: dict = {}
+
+_MARKER_RE = re.compile(r"pytest\.mark\.flaky\b|@.*\bmark\.flaky\b")
+
+
+def _files_using_flaky():
+    hits = []
+    for path in sorted(TESTS_DIR.rglob("*.py")):
+        if path == Path(__file__):
+            continue
+        if _MARKER_RE.search(path.read_text(encoding="utf-8")):
+            hits.append(str(path.relative_to(TESTS_DIR)))
+    return hits
+
+
+def test_every_flaky_marker_is_allowlisted():
+    hits = _files_using_flaky()
+    unlisted = [f for f in hits if f not in FLAKY_ALLOWLIST]
+    assert not unlisted, (
+        f"flaky markers without an allowlist entry: {unlisted} — add them "
+        f"to FLAKY_ALLOWLIST with a reason, or make the tests deterministic"
+    )
+
+
+def test_allowlist_has_no_stale_entries():
+    hits = set(_files_using_flaky())
+    stale = [f for f in FLAKY_ALLOWLIST if f not in hits]
+    assert not stale, f"allowlist entries with no flaky marker left: {stale}"
+
+
+def test_flaky_marker_is_registered(pytestconfig):
+    registered = [m.split(":")[0].strip()
+                  for m in pytestconfig.getini("markers")]
+    assert "flaky" in registered, (
+        "the `flaky` marker must stay registered in pyproject.toml so "
+        "--strict-markers keeps guarding the chaos job's deselection"
+    )
+
+
+def test_strict_markers_enforced(pytestconfig):
+    addopts = pytestconfig.getini("addopts")
+    assert "--strict-markers" in addopts
