@@ -3,9 +3,11 @@ module name never collides with the test-suite conftest)."""
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
+from repro.perflab.fingerprint import PERF_SCHEMA_VERSION, collect_fingerprint
 from repro.suite import SUITE, suite_by_name
 
 #: Representative subset: every family, both size buckets, both AP buckets.
@@ -24,7 +26,9 @@ SUBSET = [
     "arrow-many",
 ]
 
-OUTPUT_DIR = Path(__file__).parent / "output"
+#: Where regenerated tables/figures land; ``HDAGG_BENCH_OUT`` redirects the
+#: whole artifact tree (CI points it at the uploaded-artifact directory).
+OUTPUT_DIR = Path(os.environ.get("HDAGG_BENCH_OUT") or Path(__file__).parent / "output")
 
 
 def bench_specs():
@@ -36,6 +40,39 @@ def bench_specs():
     return [by_name[n] for n in SUBSET]
 
 
+def provenance_footer() -> str:
+    """Environment stamp appended to every text artifact: which machine,
+    which commit, which schema — so a diff between two committed outputs
+    is attributable before anyone re-runs anything."""
+    fp = collect_fingerprint()
+    return (
+        f"# schema {PERF_SCHEMA_VERSION} | env {fp.digest} ({fp.describe()})"
+        + (f" | git {fp.git_sha}" if fp.git_sha else "")
+    )
+
+
 def write_report(output_dir: Path, name: str, text: str) -> None:
-    """Persist a regenerated table/figure under benchmarks/output/."""
-    (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    """Persist a regenerated table/figure under the output tree."""
+    (output_dir / f"{name}.txt").write_text(
+        text + "\n" + provenance_footer() + "\n", encoding="utf-8"
+    )
+
+
+def write_json_payload(output_dir: Path, name: str, payload: dict) -> Path:
+    """Persist a machine-readable artifact, stamped with the perf schema
+    version and the environment fingerprint (digest + full description).
+
+    The stamp lives at the top level next to the payload keys, so readers
+    like :func:`repro.perflab.history.migrate_bench_inspector` can route
+    on ``schema`` and recover the provenance without any side files.
+    """
+    fp = collect_fingerprint()
+    doc = {
+        "schema": PERF_SCHEMA_VERSION,
+        "fingerprint": fp.as_dict(),
+        **payload,
+    }
+    path = output_dir / f"{name}.json"
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

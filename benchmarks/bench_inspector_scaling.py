@@ -13,12 +13,10 @@ metadata) so CI and regression tooling can diff inspector performance
 across commits without parsing text tables.
 """
 
-import json
-
 import numpy as np
 import pytest
 
-from _common import write_report
+from _common import write_json_payload, write_report
 from repro.core import hdagg, subtree_grouping
 from repro.graph import dag_from_matrix_lower, transitive_reduction_two_hop
 from repro.kernels import KERNELS
@@ -83,10 +81,7 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
             title="HDagg inspector scaling (Section IV-E)",
         ),
     )
-    (output_dir / "BENCH_inspector.json").write_text(
-        json.dumps({"version": 1, "sizes": json_rows}, indent=1) + "\n",
-        encoding="utf-8",
-    )
+    write_json_payload(output_dir, "BENCH_inspector", {"sizes": json_rows})
     # near-linear growth: more edges should cost well under quadratically
     # more time
     edge_ratio = dags[-1][2].n_edges / dags[0][2].n_edges

@@ -21,6 +21,7 @@ the CI smoke job keys on.  Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -61,6 +62,11 @@ def build_analyze_parser() -> argparse.ArgumentParser:
                    help="also run the mutation harness and fail on escaped mutants")
     p.add_argument("--max-witnesses", type=int, default=4)
     p.add_argument("--json", default=None, help="dump per-combination results to a JSON file")
+    p.add_argument("--out-dir", default=None,
+                   help="artifact directory (created if missing); a relative "
+                        "--json path is placed inside it, and omitting --json "
+                        "writes analyze.json there — same convention as "
+                        "'trace --out-dir' and 'perf report --out-dir'")
     return p
 
 
@@ -239,6 +245,13 @@ def _format_row(row: Dict) -> str:
 def analyze_main(argv=None) -> int:
     args = build_analyze_parser().parse_args(argv)
     from ..suite.matrices import SUITE, small_suite
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        if args.json is None:
+            args.json = os.path.join(args.out_dir, "analyze.json")
+        elif not os.path.isabs(args.json):
+            args.json = os.path.join(args.out_dir, args.json)
 
     if args.matrices:
         by_name = {s.name: s for s in SUITE}

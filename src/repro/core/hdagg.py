@@ -31,6 +31,7 @@ from ..graph.coarsen import Grouping, coarsen_dag, identity_grouping
 from ..graph.dag import DAG, gather_slices
 from ..graph.transitive_reduction import transitive_reduction_two_hop
 from ..observability.state import STATE as _OBS_STATE
+from ..resilience.faults import fault_point
 from ..runtime.perf import StageTimer
 from ..sparse.csr import INDEX_DTYPE
 from .aggregation import subtree_grouping
@@ -191,6 +192,7 @@ def hdagg(
         with timer.stage("transitive_reduction"), _span(
             "inspect/transitive_reduction", n=g.n, n_edges=g.n_edges
         ):
+            fault_point("inspector.stage", label="transitive_reduction")
             g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
         cap = (
             group_cost_cap_fraction * float(cost.sum()) / p
@@ -198,16 +200,19 @@ def hdagg(
             else None
         )
         with timer.stage("aggregation"), _span("inspect/aggregation"):
+            fault_point("inspector.stage", label="aggregation")
             grouping = subtree_grouping(g_base, cost, cap)
     else:
         g_base = g
         grouping = identity_grouping(g.n)
     with timer.stage("coarsen"), _span("inspect/coarsen"):
+        fault_point("inspector.stage", label="coarsen")
         g2 = coarsen_dag(g_base, grouping)
         group_cost = grouping.group_costs(cost)
 
     # ---------------- Step 2 (Lines 21-38) ----------------
     with timer.stage("lbp"), _span("inspect/lbp", n_coarse=g2.n, epsilon=epsilon):
+        fault_point("inspector.stage", label="lbp")
         lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
     if not bin_pack:
         lbp.fine_grained = True
@@ -224,6 +229,7 @@ def hdagg(
         "epsilon": epsilon,
     }
     with timer.stage("expand"), _span("inspect/expand"):
+        fault_point("inspector.stage", label="expand")
         schedule = expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)
     # per-stage seconds for NRE-style reporting; to_dict() drops non-JSON
     # meta values, so this never leaks into serialized schedules

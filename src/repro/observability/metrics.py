@@ -109,9 +109,54 @@ class Histogram:
                     return
             self.bucket_counts[-1] += 1
 
+    def observe_many(self, values: Sequence[Union[int, float]]) -> None:
+        """Record a batch (one lock acquisition per value is wasteful for
+        the perf-lab's per-rep timing lists)."""
+        vals = [float(v) for v in values]
+        if not vals:
+            return
+        with self._lock:
+            for v in vals:
+                self.count += 1
+                self.sum += v
+                self.min = v if self.min is None else min(self.min, v)
+                self.max = v if self.max is None else max(self.max, v)
+                for i, bound in enumerate(self.buckets):
+                    if v <= bound:
+                        self.bucket_counts[i] += 1
+                        break
+                else:
+                    self.bucket_counts[-1] += 1
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (``None`` when empty).
+
+        Accuracy is bounded by the bucket ladder — good enough for the
+        decade-scale questions the registry answers ("where does the p95
+        land"), not a substitute for the perf-lab's full sample sets.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return None
+            target = q * self.count
+            seen = 0
+            lo = self.min if self.min is not None else 0.0
+            for i, bound in enumerate(self.buckets):
+                n = self.bucket_counts[i]
+                if n and seen + n >= target:
+                    lower = lo if i == 0 else self.buckets[i - 1]
+                    lower = max(lower, self.min if self.min is not None else lower)
+                    upper = min(bound, self.max if self.max is not None else bound)
+                    frac = (target - seen) / n
+                    return lower + frac * (upper - lower)
+                seen += n
+            return self.max
 
     def as_dict(self) -> dict:
         return {

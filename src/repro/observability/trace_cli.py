@@ -54,8 +54,10 @@ def build_trace_parser() -> argparse.ArgumentParser:
                    help="HDagg/LBC balance threshold")
     p.add_argument("--ordering", default="nd",
                    choices=["nd", "rcm", "natural", "random"])
-    p.add_argument("--out", default="trace-out",
-                   help="output directory (created if missing)")
+    p.add_argument("--out-dir", "--out", dest="out", default="trace-out",
+                   help="output directory (created if missing); --out is an "
+                        "accepted alias so perf-lab and trace artifacts can "
+                        "share one run directory")
     p.add_argument("--no-threaded", action="store_true",
                    help="skip the threaded execution (model timeline only)")
     return p
@@ -63,27 +65,16 @@ def build_trace_parser() -> argparse.ArgumentParser:
 
 def _build_cell(args):
     """Matrix -> (g, cost, memory, machine, operand, kernel) for one cell."""
-    from ..kernels import KERNELS
-    from ..runtime.machine import MACHINES
-    from ..sparse.ordering import apply_ordering
-    from ..sparse.triangular import lower_triangle
-    from ..suite.matrices import SUITE
+    from ..suite.harness import build_cell
 
-    by_name = {s.name: s for s in SUITE}
-    if args.matrix not in by_name:
-        raise KeyError(
-            f"unknown matrix {args.matrix!r}; see `hdagg-bench --list`"
-        )
-    machine = MACHINES[args.machine]
-    if args.cores is not None:
-        machine = machine.scaled(args.cores)
-    ordered, _ = apply_ordering(by_name[args.matrix].build(), args.ordering)
-    kernel = KERNELS[args.kernel]
-    operand = lower_triangle(ordered) if args.kernel == "sptrsv" else ordered
-    g = kernel.dag(operand)
-    cost = kernel.cost(operand)
-    memory = kernel.memory_model(operand, g)
-    return g, cost, memory, machine, operand, kernel
+    cell = build_cell(
+        args.matrix,
+        kernel=args.kernel,
+        machine=args.machine,
+        cores=args.cores,
+        ordering=args.ordering,
+    )
+    return cell.dag, cell.cost, cell.memory, cell.machine, cell.operand, cell.kernel
 
 
 def trace_main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,139 @@
+"""Perf-lab benchmark definitions: what `perf run` actually measures.
+
+One *cell* is (matrix, kernel, algorithm, machine); one rep of the
+``inspector`` benchmark runs the full inspector-executor pipeline for the
+cell and reports:
+
+* ``inspect`` — wall-clock seconds of the scheduler call, with the
+  inspector's own :class:`~repro.runtime.perf.StageTimer` sub-stages
+  re-exported as ``inspect/<stage>`` (HDagg: transitive_reduction,
+  aggregation, coarsen, lbp, expand — other schedulers report no
+  sub-stages and the residual ``inspect/other`` covers them);
+* ``execute`` — wall-clock seconds of simulating the schedule on the
+  cell's machine model (a deterministic, schedule-shaped python workload:
+  slower schedule expansion or a fatter schedule shows up here).
+
+The total per rep is ``inspect + execute``.  Stalls injected through the
+``inspector.stage`` fault site (``perf run --stall-stage``) land inside
+the named stage's timer, which is how the regression gate's stage
+attribution is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .protocol import (
+    MeasurementProtocol,
+    Observation,
+    ObservationKey,
+    RepResult,
+)
+
+__all__ = ["PERF_SMOKE", "inspector_rep", "run_inspector_benchmarks"]
+
+#: Default `perf run` subset: three small cells from different families
+#: (2D mesh, 3D mesh, clique chain) that exercise all inspector stages in
+#: a few milliseconds each — small enough for CI, shaped enough to matter.
+PERF_SMOKE = ("mesh2d-s", "mesh3d-s", "kite-small")
+
+
+def inspector_rep(
+    cell,
+    algorithm: str,
+    *,
+    epsilon: Optional[float] = None,
+) -> Callable[[], RepResult]:
+    """One-rep callable for the ``inspector`` benchmark on a built cell.
+
+    ``cell`` is a :class:`~repro.suite.harness.BenchCell`.
+    """
+    from ..runtime.simulator import simulate
+    from ..schedulers import SCHEDULERS
+
+    if algorithm not in SCHEDULERS:
+        raise KeyError(f"unknown scheduler {algorithm!r}; available: {sorted(SCHEDULERS)}")
+    g = cell.dag
+    cost = np.asarray(cell.cost, dtype=np.float64)[: g.n]
+    p = cell.machine.n_cores
+    kwargs = {}
+    if epsilon is not None and algorithm in ("hdagg", "lbc"):
+        kwargs["epsilon"] = epsilon
+
+    def rep() -> RepResult:
+        t0 = time.perf_counter()
+        schedule = SCHEDULERS[algorithm](g, cost, p, **kwargs)
+        t_inspect = time.perf_counter() - t0
+        stages: Dict[str, float] = {"inspect": t_inspect}
+        for name, seconds in schedule.meta.get("stage_seconds", {}).items():
+            stages[f"inspect/{name}"] = float(seconds)
+        t1 = time.perf_counter()
+        simulate(schedule, g, cost, cell.memory, cell.machine)
+        t_execute = time.perf_counter() - t1
+        stages["execute"] = t_execute
+        return t_inspect + t_execute, stages
+
+    return rep
+
+
+def _record_metrics(obs: Observation) -> None:
+    """Mirror an observation into the ambient metrics registry (if on)."""
+    from ..observability.state import STATE
+
+    if not STATE.enabled or STATE.registry is None:
+        return
+    reg = STATE.registry
+    reg.histogram(f"perflab.{obs.key.label()}.seconds").observe_many(obs.timings)
+    if obs.stats is not None:
+        reg.gauge(f"perflab.{obs.key.label()}.median_seconds").set(obs.stats.statistic)
+
+
+def run_inspector_benchmarks(
+    matrices: Sequence[str] = PERF_SMOKE,
+    *,
+    kernel: str = "sptrsv",
+    algorithm: str = "hdagg",
+    machine: str = "intel20",
+    cores: Optional[int] = None,
+    ordering: str = "nd",
+    epsilon: Optional[float] = None,
+    protocol: Optional[MeasurementProtocol] = None,
+    note: str = "",
+    progress: Optional[Callable[[Observation], None]] = None,
+) -> List[Observation]:
+    """Measure the inspector benchmark over a set of matrices.
+
+    The environment fingerprint is collected once and shared by every
+    observation of the run (it cannot change mid-process), so all cells of
+    one run land on the same history series key.
+    """
+    from ..suite.harness import build_cell
+    from .fingerprint import collect_fingerprint
+
+    proto = protocol if protocol is not None else MeasurementProtocol()
+    fingerprint = collect_fingerprint()
+    out: List[Observation] = []
+    for name in matrices:
+        cell = build_cell(name, kernel=kernel, machine=machine,
+                          cores=cores, ordering=ordering)
+        key = ObservationKey(
+            benchmark="inspector",
+            matrix=name,
+            kernel=kernel,
+            algorithm=algorithm,
+            machine=cell.machine.name,
+        )
+        obs = proto.measure(
+            key,
+            inspector_rep(cell, algorithm, epsilon=epsilon),
+            fingerprint=fingerprint,
+            note=note,
+        )
+        _record_metrics(obs)
+        out.append(obs)
+        if progress is not None:
+            progress(obs)
+    return out

@@ -1,0 +1,239 @@
+"""Comparison engine: regression verdicts with stage attribution.
+
+Comparing two observations is a three-layer decision:
+
+1. **total verdict** — :func:`~repro.perflab.stats.shift_verdict` over the
+   per-rep totals (bootstrap shift interval + BCa overlap rule);
+2. **stage attribution** — the same verdict per stage series, restricted
+   to *leaf* stages (``inspect/<sub>``, ``execute``, plus the derived
+   ``inspect/other`` residual), ranked by absolute seconds moved.  A
+   confirmed total regression names the stages whose distributions moved
+   with it — "the inspector got 10% slower **because lbp did**";
+3. **change point** — when the full history of a series is available,
+   :func:`~repro.perflab.stats.detect_change_point` localizes *when* the
+   series shifted, which separates "this commit regressed it" from "the
+   machine has been drifting for a week".
+
+:func:`classify_point_ratio` is the degenerate single-point fallback the
+suite's record diff (:mod:`repro.suite.regression`) delegates to: no
+samples, no interval — just a guarded ratio with an explicit
+``indeterminate`` lane instead of ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .protocol import Observation
+from .stats import ChangePoint, ShiftVerdict, detect_change_point, shift_verdict
+
+__all__ = [
+    "StageShift",
+    "ObservationComparison",
+    "compare_observations",
+    "compare_series",
+    "classify_point_ratio",
+    "stage_series",
+]
+
+#: stage-level shifts must clear a lower floor than the total: a stage can
+#: be individually small but responsible for the whole total move.
+STAGE_MIN_EFFECT = 0.02
+
+
+@dataclass(frozen=True)
+class StageShift:
+    """One stage's distribution move between two observations."""
+
+    stage: str
+    verdict: ShiftVerdict
+    #: absolute seconds the stage median moved (signed; + is slower)
+    delta_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "delta_seconds": self.delta_seconds,
+            **self.verdict.as_dict(),
+        }
+
+
+@dataclass
+class ObservationComparison:
+    """Old-vs-new decision for one series, with attribution and history."""
+
+    label: str
+    total: ShiftVerdict
+    stages: List[StageShift] = field(default_factory=list)
+    change_point: Optional[ChangePoint] = None
+    fingerprint_match: bool = True
+    old_note: str = ""
+    new_note: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        """True when the total verdict is a *confirmed* regression."""
+        return self.total.verdict == "regressed" and self.total.confirmed
+
+    @property
+    def responsible_stages(self) -> List[StageShift]:
+        """Stages that moved the same way, most seconds first."""
+        moved = [
+            s
+            for s in self.stages
+            if s.verdict.verdict == self.total.verdict and s.verdict.confirmed
+        ]
+        return sorted(moved, key=lambda s: -abs(s.delta_seconds))
+
+    def describe(self) -> str:
+        """One line per comparison — the gate's console output."""
+        t = self.total
+        if t.verdict == "indeterminate":
+            return f"{self.label}: INDETERMINATE ({t.reason})"
+        pct = f"{t.rel_shift:+.1%}"
+        ci = f"[{t.shift_lo:+.1%}, {t.shift_hi:+.1%}]"
+        if self.regressed:
+            who = self.responsible_stages
+            stage = f" stage={who[0].stage} ({who[0].delta_seconds * 1e3:+.2f}ms)" if who else ""
+            line = f"{self.label}: REGRESSED {pct} {ci}{stage}"
+        elif t.verdict == "improved" and t.confirmed:
+            line = f"{self.label}: improved {pct} {ci}"
+        elif t.verdict in ("regressed", "improved"):
+            line = f"{self.label}: {t.verdict} (unconfirmed: {t.reason}) {pct} {ci}"
+        else:
+            line = f"{self.label}: unchanged {pct} {ci}"
+        if self.change_point is not None:
+            cp = self.change_point
+            line += (
+                f" | change point at obs {cp.index} "
+                f"({cp.rel_shift:+.1%}, p={cp.p_value:.3f})"
+            )
+        if not self.fingerprint_match:
+            line += " | WARNING: environment fingerprints differ"
+        return line
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "total": self.total.as_dict(),
+            "regressed": self.regressed,
+            "stages": [s.as_dict() for s in self.stages],
+            "responsible_stages": [s.stage for s in self.responsible_stages],
+            "change_point": self.change_point.as_dict() if self.change_point else None,
+            "fingerprint_match": self.fingerprint_match,
+        }
+
+
+def stage_series(obs: Observation) -> Dict[str, List[float]]:
+    """Leaf-stage series of an observation, with the ``inspect/other``
+    residual so time spent *between* the instrumented sub-stages is still
+    attributable (an injected stall outside any stage lands here)."""
+    out: Dict[str, List[float]] = {}
+    sub_totals: Optional[np.ndarray] = None
+    for name, vals in obs.stages.items():
+        if name.startswith("inspect/"):
+            arr = np.asarray(vals, dtype=np.float64)
+            sub_totals = arr if sub_totals is None else sub_totals + arr
+            out[name] = list(vals)
+        elif name != "inspect":
+            out[name] = list(vals)
+    inspect = obs.stages.get("inspect")
+    if inspect is not None and sub_totals is not None:
+        residual = np.asarray(inspect, dtype=np.float64) - sub_totals
+        out["inspect/other"] = [max(0.0, float(v)) for v in residual]
+    return out
+
+
+def compare_observations(
+    old: Observation,
+    new: Observation,
+    *,
+    min_effect: float = 0.05,
+    stage_min_effect: float = STAGE_MIN_EFFECT,
+    confidence: float = 0.95,
+    seed: int = 0,
+    history: Optional[Sequence[Observation]] = None,
+) -> ObservationComparison:
+    """Full comparison of two observations of the same cell.
+
+    ``history`` (chronological, typically including both endpoints) feeds
+    the change-point detector; omit it for a plain A/B comparison.
+    """
+    total = shift_verdict(
+        old.timings, new.timings,
+        min_effect=min_effect, confidence=confidence, seed=seed,
+    )
+    old_stages = stage_series(old)
+    new_stages = stage_series(new)
+    shifts: List[StageShift] = []
+    for name in sorted(old_stages.keys() & new_stages.keys()):
+        o, n = old_stages[name], new_stages[name]
+        v = shift_verdict(
+            o, n, min_effect=stage_min_effect, confidence=confidence, seed=seed,
+        )
+        delta = float(np.median(n) - np.median(o)) if o and n else 0.0
+        shifts.append(StageShift(stage=name, verdict=v, delta_seconds=delta))
+    change_point = None
+    if history is not None:
+        medians = [
+            obs.stats.statistic for obs in history if obs.stats is not None
+        ]
+        change_point = detect_change_point(medians, seed=seed)
+    return ObservationComparison(
+        label=new.key.label(),
+        total=total,
+        stages=shifts,
+        change_point=change_point,
+        fingerprint_match=old.fingerprint.digest == new.fingerprint.digest,
+        old_note=old.note,
+        new_note=new.note,
+    )
+
+
+def compare_series(
+    series: Sequence[Observation],
+    *,
+    baseline: Optional[Observation] = None,
+    min_effect: float = 0.05,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Optional[ObservationComparison]:
+    """Compare the latest observation of a series against its predecessor
+    (or an explicit ``baseline``), feeding the whole series to the
+    change-point detector.  Returns ``None`` when there is nothing to
+    compare against."""
+    if not series:
+        return None
+    new = series[-1]
+    old = baseline
+    if old is None:
+        if len(series) < 2:
+            return None
+        old = series[-2]
+    return compare_observations(
+        old, new,
+        min_effect=min_effect, confidence=confidence, seed=seed,
+        history=series,
+    )
+
+
+def classify_point_ratio(
+    old: float,
+    new: float,
+    *,
+    threshold: float = 0.95,
+) -> str:
+    """Single-point fallback verdict for record diffs without samples.
+
+    ``old``/``new`` are *higher-is-better* values (speedups).  Returns
+    ``"regressed"``, ``"ok"``, or ``"indeterminate"`` — the latter for
+    non-finite or non-positive baselines, which a bare ratio would turn
+    into ``inf`` and silently wave through.
+    """
+    if not (math.isfinite(old) and math.isfinite(new)) or old <= 0 or new < 0:
+        return "indeterminate"
+    return "regressed" if (new / old) < threshold else "ok"

@@ -1,0 +1,282 @@
+"""Longitudinal storage: append-only JSONL history + trajectory snapshot.
+
+Two artifacts with two jobs:
+
+* the **history store** (``perf_history.jsonl``) is the durable record —
+  one observation per line, append-only, never rewritten.  A header line
+  stamps the schema so a reader can refuse files from the future; every
+  observation line is self-describing (key, fingerprint, samples, stats).
+  Keys are ``(benchmark, matrix, kernel, algorithm, machine)`` plus the
+  environment-fingerprint digest, so observations from different machines
+  coexist without ever being compared as if they were one series;
+* the **trajectory snapshot** (repo-root ``BENCH_trajectory.json``) is the
+  derived, human-diffable view: per series, the median trajectory and the
+  latest observation's statistics.  It is regenerated wholesale and
+  written atomically (tmp file + ``os.replace``), so the repo always holds
+  a consistent snapshot even if a run is killed mid-write.
+
+:func:`migrate_bench_inspector` lifts the PR-1 era
+``benchmarks/output/BENCH_inspector.json`` (schema 1: single-shot
+timings, no fingerprint) into schema-2 observations so the pre-perf-lab
+trajectory is not lost — migrated points carry a ``legacy`` note and a
+placeholder fingerprint digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from os import PathLike
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .fingerprint import PERF_SCHEMA_VERSION, EnvironmentFingerprint
+from .protocol import Observation, ObservationKey
+
+__all__ = [
+    "HistoryStore",
+    "SeriesKey",
+    "LEGACY_DIGEST",
+    "write_trajectory",
+    "load_trajectory",
+    "migrate_bench_inspector",
+]
+
+#: one longitudinal series: the observation key plus the environment digest.
+SeriesKey = Tuple[ObservationKey, str]
+
+#: the all-empty fingerprint carried by observations migrated from
+#: schema-1 files (the originals recorded nothing about the machine); its
+#: digest is the stable series key every legacy point lands under.
+_LEGACY_FINGERPRINT = EnvironmentFingerprint(
+    cpu_model="", cpu_count=0, governor="", os="", python="",
+    numpy="", scipy="", blas="",
+)
+LEGACY_DIGEST = _LEGACY_FINGERPRINT.digest
+
+
+class HistoryStore:
+    """Append-only JSONL store of observations.
+
+    The file starts with a header line ``{"kind": "header", "schema": 2}``;
+    every subsequent line is one observation blob.  Opening an existing
+    store validates the header and indexes the observations; appends go
+    straight to disk (flushed per line) so a killed run loses at most the
+    line being written.
+    """
+
+    def __init__(self, path: Union[str, PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._series: Dict[SeriesKey, List[Observation]] = {}
+        self._count = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._load()
+        else:
+            os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"kind": "header", "schema": PERF_SCHEMA_VERSION}))
+                fh.write("\n")
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+            header = json.loads(first)
+            if header.get("kind") != "header":
+                raise ValueError(f"{self.path}: not a perf history file (no header line)")
+            if header.get("schema") != PERF_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path}: schema {header.get('schema')!r} unsupported "
+                    f"(this build reads {PERF_SCHEMA_VERSION})"
+                )
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                self._index(Observation.from_dict(json.loads(line)))
+
+    def _index(self, obs: Observation) -> None:
+        self._series.setdefault((obs.key, obs.fingerprint.digest), []).append(obs)
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    def append(self, obs: Observation) -> None:
+        """Append one observation (flushed to disk immediately)."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(obs.as_dict(), sort_keys=True))
+            fh.write("\n")
+            fh.flush()
+        self._index(obs)
+
+    def extend(self, observations: Iterable[Observation]) -> None:
+        for obs in observations:
+            self.append(obs)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def series_keys(self) -> List[SeriesKey]:
+        """All (key, digest) series, stable order (by label then digest)."""
+        return sorted(self._series, key=lambda sk: (sk[0].label(), sk[1]))
+
+    def series(self, key: ObservationKey, digest: str) -> List[Observation]:
+        """Observations of one series in append (chronological) order."""
+        return list(self._series.get((key, digest), []))
+
+    def latest(self, key: ObservationKey, digest: str) -> Optional[Observation]:
+        seq = self._series.get((key, digest))
+        return seq[-1] if seq else None
+
+    def fingerprints(self) -> Dict[str, EnvironmentFingerprint]:
+        """digest -> fingerprint of the latest observation carrying it."""
+        out: Dict[str, EnvironmentFingerprint] = {}
+        for (_, digest), seq in self._series.items():
+            out[digest] = seq[-1].fingerprint
+        return out
+
+
+# ----------------------------------------------------------------------
+def write_trajectory(
+    store: HistoryStore,
+    path: Union[str, PathLike],
+    *,
+    generated_by: str = "hdagg-bench perf run",
+) -> dict:
+    """Atomically (re)write the trajectory snapshot from a history store.
+
+    Returns the document that was written.  The snapshot is derived state:
+    deleting it loses nothing, rerunning this function restores it.
+    """
+    # strict-JSON float encoding shared with the record store, so a
+    # degenerate series (all-zero timings -> non-finite stats) can never
+    # poison the snapshot
+    from ..suite.storage import encode_float
+
+    fingerprints = {d: fp.as_dict() for d, fp in store.fingerprints().items()}
+    series_docs = []
+    for key, digest in store.series_keys():
+        seq = store.series(key, digest)
+        latest = seq[-1]
+        series_docs.append(
+            {
+                "key": key.as_dict(),
+                "fingerprint_digest": digest,
+                "n_observations": len(seq),
+                "median_seconds": [
+                    encode_float(o.stats.statistic) if o.stats is not None else None
+                    for o in seq
+                ],
+                "latest": {
+                    "stats": latest.stats.as_dict() if latest.stats is not None else None,
+                    "reps": latest.reps,
+                    "converged": latest.converged,
+                    "git_sha": latest.fingerprint.git_sha,
+                    "note": latest.note,
+                    "stage_medians": {
+                        name: _median(vals) for name, vals in latest.stages.items()
+                    },
+                },
+            }
+        )
+    doc = {
+        "schema": PERF_SCHEMA_VERSION,
+        "kind": "trajectory",
+        "generated_by": generated_by,
+        "fingerprints": fingerprints,
+        "series": series_docs,
+    }
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def load_trajectory(path: Union[str, PathLike]) -> dict:
+    """Read a trajectory snapshot, validating its schema."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != "trajectory" or doc.get("schema") != PERF_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: not a schema-{PERF_SCHEMA_VERSION} trajectory snapshot"
+        )
+    from ..suite.storage import decode_float
+
+    for series in doc.get("series", []):
+        series["median_seconds"] = [
+            None if v is None else decode_float(v) for v in series["median_seconds"]
+        ]
+    return doc
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    return ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+# ----------------------------------------------------------------------
+def migrate_bench_inspector(
+    path: Union[str, PathLike],
+    *,
+    benchmark: str = "inspector_scaling",
+) -> List[Observation]:
+    """Lift a ``BENCH_inspector.json`` file into schema-2 observations.
+
+    Schema-1 files (PR 1-4) carry one single-shot timing per size and no
+    environment information; the migrated observations hold that one
+    sample (``reps == 1``, so every statistical comparison against them is
+    ``indeterminate`` — correctly: a point has no interval) under the
+    :data:`LEGACY_DIGEST` placeholder fingerprint.  Schema-2 files written
+    by :mod:`benchmarks.bench_inspector_scaling` already embed their
+    fingerprint and per-stage milliseconds and migrate losslessly.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    version = doc.get("version", doc.get("schema"))
+    if version not in (1, PERF_SCHEMA_VERSION):
+        raise ValueError(f"{path}: unsupported BENCH_inspector version {version!r}")
+    fp_blob = doc.get("fingerprint")
+    if fp_blob is not None:
+        fingerprint = EnvironmentFingerprint.from_dict(fp_blob)
+    else:
+        # extra{} is provenance, not part of the digest: every legacy file
+        # migrates onto the shared LEGACY_DIGEST series
+        fingerprint = EnvironmentFingerprint(
+            cpu_model="", cpu_count=0, governor="", os="", python="",
+            numpy="", scipy="", blas="", extra={"migrated_from": os.fspath(path)},
+        )
+    out: List[Observation] = []
+    for row in doc.get("sizes", []):
+        total = float(row["inspector_ms"]) / 1e3
+        stages = {
+            f"inspect/{name}": [float(ms) / 1e3]
+            for name, ms in row.get("stage_ms", {}).items()
+        }
+        stages["inspect"] = [total]
+        out.append(
+            Observation(
+                key=ObservationKey(
+                    benchmark=benchmark,
+                    matrix=str(row["matrix"]),
+                    kernel="sptrsv",
+                    algorithm="hdagg",
+                ),
+                timings=[total],
+                stages=stages,
+                fingerprint=fingerprint,
+                warmup=0,
+                target_rel_ci=1.0,
+                confidence=0.95,
+                seed=0,
+                converged=False,
+                note="migrated from BENCH_inspector.json"
+                if fp_blob is None
+                else doc.get("note", ""),
+            )
+        )
+    return out

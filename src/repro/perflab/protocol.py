@@ -1,0 +1,233 @@
+"""Measurement protocol: warmup, adaptive repetition, stage breakdown.
+
+One :class:`Observation` is the perf-lab's unit of evidence: a keyed,
+fingerprinted set of per-rep wall-clock timings with a per-stage
+breakdown, plus the bootstrap statistics derived from them.  The
+:class:`MeasurementProtocol` produces observations the same way every
+time:
+
+1. **warmup** reps run and are discarded (imports, allocator, branch
+   predictors, BLAS thread spin-up);
+2. **measured** reps accumulate until either the BCa interval of the
+   median total is narrower than ``target_rel_ci`` (relative halfwidth)
+   or ``max_reps`` is reached — adaptive repetition spends time only on
+   noisy cells;
+3. each rep reports its **stage breakdown** alongside the total
+   (``inspect`` plus the inspector's :class:`~repro.runtime.perf.StageTimer`
+   sub-stages as ``inspect/<stage>``, ``execute``, …), so a later
+   regression can be attributed to the stage whose distribution moved.
+
+The rep callable owns the timing: it returns ``(total_seconds, stages)``
+for one repetition.  This keeps the protocol generic — inspector cells,
+executor cells, and synthetic test streams all measure the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .fingerprint import PERF_SCHEMA_VERSION, EnvironmentFingerprint, collect_fingerprint
+from .stats import BootstrapCI, bootstrap_ci
+
+__all__ = ["ObservationKey", "Observation", "MeasurementProtocol", "RepResult"]
+
+#: what one rep callable returns: (total_seconds, {stage: seconds}).
+RepResult = Tuple[float, Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class ObservationKey:
+    """Identity of a benchmarked cell — what history entries are keyed by."""
+
+    benchmark: str
+    matrix: str
+    kernel: str
+    algorithm: str
+    machine: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "matrix": self.matrix,
+            "kernel": self.kernel,
+            "algorithm": self.algorithm,
+            "machine": self.machine,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "ObservationKey":
+        return cls(**blob)
+
+    def label(self) -> str:
+        parts = [self.benchmark, self.matrix, self.kernel, self.algorithm]
+        if self.machine:
+            parts.append(self.machine)
+        return "/".join(parts)
+
+
+@dataclass
+class Observation:
+    """One durable, comparable benchmark measurement."""
+
+    key: ObservationKey
+    timings: List[float]
+    stages: Dict[str, List[float]]
+    fingerprint: EnvironmentFingerprint
+    warmup: int
+    target_rel_ci: float
+    confidence: float
+    seed: int
+    converged: bool
+    note: str = ""
+    #: wall-clock seconds the whole protocol spent on this cell
+    protocol_seconds: float = 0.0
+    stats: Optional[BootstrapCI] = None
+
+    def __post_init__(self) -> None:
+        if self.stats is None and self.timings:
+            self.stats = bootstrap_ci(
+                self.timings, confidence=self.confidence, seed=self.seed
+            )
+
+    @property
+    def reps(self) -> int:
+        return len(self.timings)
+
+    def stage_names(self) -> List[str]:
+        return sorted(self.stages)
+
+    def as_dict(self) -> dict:
+        """JSON-ready blob (one history line)."""
+        return {
+            "schema": PERF_SCHEMA_VERSION,
+            "kind": "observation",
+            "key": self.key.as_dict(),
+            "fingerprint": self.fingerprint.as_dict(),
+            "fingerprint_digest": self.fingerprint.digest,
+            "protocol": {
+                "warmup": self.warmup,
+                "reps": self.reps,
+                "target_rel_ci": self.target_rel_ci,
+                "confidence": self.confidence,
+                "seed": self.seed,
+                "converged": self.converged,
+                "protocol_seconds": self.protocol_seconds,
+            },
+            "timings": list(self.timings),
+            "stages": {k: list(v) for k, v in self.stages.items()},
+            "stats": self.stats.as_dict() if self.stats is not None else None,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "Observation":
+        if blob.get("kind") != "observation":
+            raise ValueError(f"not an observation blob (kind={blob.get('kind')!r})")
+        if blob.get("schema") != PERF_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported observation schema {blob.get('schema')!r} "
+                f"(this build reads {PERF_SCHEMA_VERSION})"
+            )
+        proto = blob["protocol"]
+        stats_blob = blob.get("stats")
+        return cls(
+            key=ObservationKey.from_dict(blob["key"]),
+            timings=[float(t) for t in blob["timings"]],
+            stages={k: [float(v) for v in vs] for k, vs in blob["stages"].items()},
+            fingerprint=EnvironmentFingerprint.from_dict(blob["fingerprint"]),
+            warmup=int(proto["warmup"]),
+            target_rel_ci=float(proto["target_rel_ci"]),
+            confidence=float(proto["confidence"]),
+            seed=int(proto["seed"]),
+            converged=bool(proto["converged"]),
+            note=blob.get("note", ""),
+            protocol_seconds=float(proto.get("protocol_seconds", 0.0)),
+            stats=BootstrapCI(**stats_blob) if stats_blob else None,
+        )
+
+
+@dataclass
+class MeasurementProtocol:
+    """How a cell is measured; identical across cells, runs, and machines.
+
+    ``target_rel_ci`` is the adaptive-stop criterion: repetition continues
+    (in batches of ``batch``) until the BCa interval of the median total is
+    relatively narrower than this, or ``max_reps`` is hit — a cell that
+    stops early because its interval never tightened is stamped
+    ``converged=False`` so the comparison engine can weigh it accordingly.
+    """
+
+    warmup: int = 2
+    min_reps: int = 5
+    max_reps: int = 30
+    batch: int = 3
+    target_rel_ci: float = 0.05
+    confidence: float = 0.95
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_reps < 2:
+            raise ValueError("min_reps must be >= 2 (one sample has no interval)")
+        if self.max_reps < self.min_reps:
+            raise ValueError("max_reps must be >= min_reps")
+        if not (0.0 < self.target_rel_ci < 1.0):
+            raise ValueError("target_rel_ci must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        key: ObservationKey,
+        rep: Callable[[], RepResult],
+        *,
+        fingerprint: Optional[EnvironmentFingerprint] = None,
+        note: str = "",
+    ) -> Observation:
+        """Run the protocol over one rep callable; returns the observation.
+
+        Stage lists are kept rep-aligned: a stage missing from one rep
+        records 0.0 for it, so ``stages[s][i]`` always belongs to
+        ``timings[i]``.
+        """
+        t_start = time.perf_counter()
+        for _ in range(self.warmup):
+            rep()
+        timings: List[float] = []
+        stages: Dict[str, List[float]] = {}
+
+        def take(n: int) -> None:
+            for _ in range(n):
+                total, stage_seconds = rep()
+                timings.append(float(total))
+                seen = set()
+                for name, seconds in stage_seconds.items():
+                    series = stages.setdefault(name, [0.0] * (len(timings) - 1))
+                    series.append(float(seconds))
+                    seen.add(name)
+                for name in stages.keys() - seen:
+                    stages[name].append(0.0)
+
+        take(self.min_reps)
+        converged = self._tight_enough(timings)
+        while not converged and len(timings) + self.batch <= self.max_reps:
+            take(self.batch)
+            converged = self._tight_enough(timings)
+        fp = fingerprint if fingerprint is not None else collect_fingerprint()
+        return Observation(
+            key=key,
+            timings=timings,
+            stages=stages,
+            fingerprint=fp,
+            warmup=self.warmup,
+            target_rel_ci=self.target_rel_ci,
+            confidence=self.confidence,
+            seed=self.seed,
+            converged=converged,
+            note=note,
+            protocol_seconds=time.perf_counter() - t_start,
+        )
+
+    def _tight_enough(self, timings: List[float]) -> bool:
+        ci = bootstrap_ci(timings, confidence=self.confidence, seed=self.seed)
+        return ci.rel_halfwidth <= self.target_rel_ci

@@ -123,6 +123,10 @@ def main(argv=None) -> int:
         from ..observability.trace_cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from ..perflab.cli import perf_main
+
+        return perf_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for s in SUITE:

@@ -71,6 +71,8 @@ __all__ = [
     "RunRecord",
     "MatrixContext",
     "Harness",
+    "BenchCell",
+    "build_cell",
     "DEFAULT_ALGORITHMS",
     "FailureRecord",
 ]
@@ -139,6 +141,67 @@ class MatrixContext:
     kernels: Dict[str, dict] = field(default_factory=dict)  # kernel -> artefacts
     #: input-hardening outcome (None when sanitization was skipped)
     sanitize_report: Optional[SanitizeReport] = None
+
+
+@dataclass
+class BenchCell:
+    """Everything needed to run one (matrix, kernel, machine) cell.
+
+    The single-cell counterpart of :class:`MatrixContext`: the trace CLI
+    and the perf-lab benchmarks both need exactly one cell's operand, DAG,
+    cost vector, and memory model without paying for the full grid.
+    """
+
+    matrix: str
+    kernel_name: str
+    machine: MachineConfig
+    operand: CSRMatrix
+    dag: object
+    cost: np.ndarray
+    memory: object
+    kernel: object
+
+
+def build_cell(
+    matrix: str,
+    kernel: str = "sptrsv",
+    machine: Union[str, MachineConfig] = "intel20",
+    *,
+    cores: Optional[int] = None,
+    ordering: str = "nd",
+) -> BenchCell:
+    """Build one dataset cell: reorder the matrix and derive kernel inputs.
+
+    ``matrix`` names a dataset entry (``hdagg-bench --list``); ``cores``
+    overrides the machine model's count.  This is the shared front door
+    for single-cell tooling (``hdagg-bench trace``, ``hdagg-bench perf``).
+    """
+    from .matrices import suite_by_name
+
+    by_name = suite_by_name()
+    if matrix not in by_name:
+        raise KeyError(f"unknown matrix {matrix!r}; see `hdagg-bench --list`")
+    if kernel not in KERNELS:
+        raise KeyError(f"unknown kernel {kernel!r}")
+    mach = machine if isinstance(machine, MachineConfig) else MACHINES[machine]
+    if cores is not None:
+        mach = mach.scaled(cores)
+    ordered, _ = apply_ordering(by_name[matrix].build(), ordering)
+    k = KERNELS[kernel]
+    operand = lower_triangle(ordered) if kernel == "sptrsv" else ordered
+    g = k.dag(operand)
+    cost = k.cost(operand)
+    memory = k.memory_model(operand, g)
+    return BenchCell(
+        matrix=matrix,
+        kernel_name=kernel,
+        machine=mach,
+        operand=operand,
+        dag=g,
+        cost=cost,
+        memory=memory,
+        kernel=k,
+    )
 
 
 class Harness:

@@ -5,6 +5,14 @@ everywhere; this module diffs two record sets (e.g. saved before and after
 a change with :mod:`repro.suite.storage`) and reports per-algorithm speedup
 movement, flagged regressions, and the headline Table-I ratios side by
 side.
+
+Verdicts delegate to :func:`repro.perflab.compare.classify_point_ratio`:
+a cell whose baseline speedup is non-positive or non-finite is
+``indeterminate`` (``ratio`` is ``nan``), not an infinite "improvement" —
+those cells are counted and listed separately so a broken baseline can
+never wave a regression through.  For distribution-level verdicts with
+confidence intervals and stage attribution, use the perf-lab
+(``hdagg-bench perf``); this module remains the cheap single-point diff.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..perflab.compare import classify_point_ratio
 from .harness import RunRecord
 from .tables import index_records
 
@@ -30,12 +39,20 @@ class RecordDelta:
 
     @property
     def ratio(self) -> float:
-        return self.new_speedup / self.old_speedup if self.old_speedup > 0 else float("inf")
+        """new/old, or ``nan`` when the baseline supports no ratio."""
+        if self.indeterminate:
+            return float("nan")
+        return self.new_speedup / self.old_speedup
+
+    @property
+    def indeterminate(self) -> bool:
+        """True when no verdict is possible (bad or non-finite baseline)."""
+        return classify_point_ratio(self.old_speedup, self.new_speedup) == "indeterminate"
 
     @property
     def regressed(self) -> bool:
         """More than 5% slower counts as a regression."""
-        return self.ratio < 0.95
+        return classify_point_ratio(self.old_speedup, self.new_speedup) == "regressed"
 
 
 def diff_records(
@@ -66,8 +83,10 @@ def regression_report(
     if added:
         lines.append(f"  cells only in NEW: {len(added)} (e.g. {added[0]})")
 
+    comparable = [d for d in deltas if not d.indeterminate]
+    indeterminate = [d for d in deltas if d.indeterminate]
     by_algo: Dict[str, List[float]] = {}
-    for d in deltas:
+    for d in comparable:
         by_algo.setdefault(d.key[2], []).append(d.ratio)
     for algo in sorted(by_algo):
         ratios = np.array(by_algo[algo])
@@ -76,7 +95,7 @@ def regression_report(
             f"(min {ratios.min():.3f}, max {ratios.max():.3f})"
         )
 
-    regressions = [d for d in deltas if d.ratio < threshold]
+    regressions = [d for d in comparable if d.ratio < threshold]
     if regressions:
         lines.append(f"  {len(regressions)} regression(s) below {threshold:.2f}x:")
         for d in sorted(regressions, key=lambda d: d.ratio)[:10]:
@@ -86,4 +105,13 @@ def regression_report(
             )
     else:
         lines.append(f"  no regressions below {threshold:.2f}x")
+    if indeterminate:
+        lines.append(
+            f"  {len(indeterminate)} cell(s) indeterminate (non-positive or "
+            f"non-finite baseline speedup):"
+        )
+        for d in indeterminate[:10]:
+            lines.append(
+                f"    {d.key}: {d.old_speedup:.2f} -> {d.new_speedup:.2f}"
+            )
     return "\n".join(lines)

@@ -24,6 +24,8 @@ __all__ = [
     "load_records",
     "record_to_blob",
     "record_from_blob",
+    "encode_float",
+    "decode_float",
 ]
 
 _FLOAT_FIELDS = {
@@ -36,7 +38,12 @@ _FLOAT_FIELDS = {
 _DORMANT_DEFAULTS = {"degraded": False, "degraded_from": ""}
 
 
-def _encode(value):
+def encode_float(value):
+    """Non-finite floats as portable strings (strict JSON has no NaN/Inf).
+
+    Shared with the perf-lab's trajectory snapshot so every JSON artifact
+    in the repo encodes non-finite values the same way.
+    """
     if isinstance(value, float):
         if math.isinf(value):
             return "inf" if value > 0 else "-inf"
@@ -45,10 +52,18 @@ def _encode(value):
     return value
 
 
-def _decode(name: str, value):
+def decode_float(value):
+    """Inverse of :func:`encode_float`."""
     if isinstance(value, str) and value in ("inf", "-inf", "nan"):
         return float(value)
     return value
+
+
+_encode = encode_float
+
+
+def _decode(name: str, value):
+    return decode_float(value)
 
 
 def record_to_blob(record: RunRecord, *, encode_floats: bool = True) -> dict:

@@ -64,6 +64,30 @@ def test_histogram_sorts_buckets_and_rejects_empty():
         Histogram("y", buckets=())
 
 
+def test_histogram_observe_many_matches_observe():
+    a = Histogram("a", buckets=(1.0, 10.0))
+    b = Histogram("b", buckets=(1.0, 10.0))
+    values = [0.5, 1.0, 5.0, 50.0, 0.1]
+    for v in values:
+        a.observe(v)
+    b.observe_many(values)
+    b.observe_many([])  # no-op
+    assert a.as_dict() == {**b.as_dict()}
+    assert b.count == 5
+
+
+def test_histogram_quantile_estimates():
+    h = Histogram("x", buckets=(1.0, 2.0, 4.0, 8.0))
+    h.observe_many([0.5, 1.5, 2.5, 3.5, 6.0])
+    assert h.quantile(0.0) == pytest.approx(0.5, abs=0.6)
+    assert h.quantile(1.0) == pytest.approx(6.0)
+    # the median lands in the (2, 4] bucket
+    assert 2.0 <= h.quantile(0.5) <= 4.0
+    assert Histogram("empty").quantile(0.5) is None
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
 def test_histogram_default_buckets_shape():
     h = Histogram("x")
     assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))

@@ -1,0 +1,38 @@
+"""Stage-share tables shared by trace reports and the perf-lab CLI."""
+
+import pytest
+
+from repro.observability.reports import stage_share_report, stage_share_rows
+
+
+def test_rows_exclude_aggregates_with_children_present():
+    rows = stage_share_rows({
+        "inspect": 0.010,          # aggregate: lbp + coarsen are its children
+        "inspect/lbp": 0.006,
+        "inspect/coarsen": 0.002,
+        "execute": 0.004,
+    })
+    names = [r[0] for r in rows]
+    assert "inspect" not in names
+    assert names == ["inspect/lbp", "execute", "inspect/coarsen"]  # by time
+    assert sum(r[2] for r in rows) == pytest.approx(100.0)
+    assert rows[0][2] == pytest.approx(50.0)
+
+
+def test_rows_keep_aggregate_without_children():
+    rows = stage_share_rows({"inspect": 0.010, "execute": 0.010})
+    assert {r[0] for r in rows} == {"execute", "inspect"}
+    assert all(r[2] == pytest.approx(50.0) for r in rows)
+
+
+def test_all_zero_shares_do_not_divide_by_zero():
+    rows = stage_share_rows({"a": 0.0, "b": 0.0})
+    assert all(r[2] == 0.0 for r in rows)
+
+
+def test_report_renders_table():
+    text = stage_share_report({"inspect/lbp": 0.006, "execute": 0.004},
+                              unit="ms")
+    assert "Stage breakdown" in text
+    assert "inspect/lbp" in text
+    assert "ms" in text and "share %" in text

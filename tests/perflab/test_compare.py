@@ -1,0 +1,123 @@
+"""Comparison engine: verdicts, stage attribution, point-ratio fallback."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perflab.compare import (
+    classify_point_ratio,
+    compare_observations,
+    compare_series,
+    stage_series,
+)
+from repro.perflab.protocol import MeasurementProtocol, ObservationKey
+
+from .test_fingerprint import make_fp
+
+KEY = ObservationKey("bench", "m", "sptrsv", "hdagg", "intel20")
+PROTO = MeasurementProtocol(warmup=0, min_reps=12, max_reps=12,
+                            target_rel_ci=0.001)  # fixed 12 reps
+
+
+def observe(total, *, lbp, coarsen=0.002, execute=0.003, jitter=0.00005,
+            fp=None, seed=0):
+    """Observation whose reps hover around the given stage split."""
+    rng = np.random.default_rng(seed)
+
+    def rep():
+        eps = float(rng.normal(0.0, jitter))
+        stages = {
+            "inspect": total - execute + eps,
+            "inspect/lbp": lbp + eps,
+            "inspect/coarsen": coarsen,
+            "execute": execute,
+        }
+        return total + eps, stages
+
+    return PROTO.measure(KEY, rep, fingerprint=fp or make_fp())
+
+
+def test_stage_series_includes_residual():
+    obs = observe(0.010, lbp=0.004)
+    series = stage_series(obs)
+    assert set(series) == {"inspect/lbp", "inspect/coarsen", "execute",
+                           "inspect/other"}
+    # residual = inspect - (lbp + coarsen), clipped at zero, per rep
+    assert all(v >= 0 for v in series["inspect/other"])
+    assert np.median(series["inspect/other"]) == pytest.approx(
+        0.010 - 0.003 - 0.004 - 0.002, abs=2e-4
+    )
+
+
+def test_unchanged_pair_is_quiet():
+    c = compare_observations(observe(0.010, lbp=0.004, seed=1),
+                             observe(0.010, lbp=0.004, seed=2))
+    assert not c.regressed
+    assert c.fingerprint_match
+    assert "REGRESSED" not in c.describe()
+
+
+def test_regression_attributed_to_moved_stage():
+    old = observe(0.010, lbp=0.004, seed=1)
+    new = observe(0.013, lbp=0.007, seed=2)  # +30%, entirely in lbp
+    c = compare_observations(old, new)
+    assert c.regressed
+    assert c.total.rel_shift == pytest.approx(0.30, abs=0.05)
+    who = c.responsible_stages
+    assert who and who[0].stage == "inspect/lbp"
+    assert who[0].delta_seconds == pytest.approx(0.003, abs=5e-4)
+    assert "stage=inspect/lbp" in c.describe()
+    blob = c.as_dict()
+    assert blob["regressed"] is True
+    assert blob["responsible_stages"][0] == "inspect/lbp"
+
+
+def test_improvement_is_not_a_regression():
+    c = compare_observations(observe(0.013, lbp=0.007, seed=1),
+                             observe(0.010, lbp=0.004, seed=2))
+    assert c.total.verdict == "improved"
+    assert not c.regressed
+
+
+def test_fingerprint_mismatch_is_flagged():
+    c = compare_observations(
+        observe(0.010, lbp=0.004, fp=make_fp()),
+        observe(0.010, lbp=0.004, fp=make_fp(numpy="9.9.9")),
+    )
+    assert not c.fingerprint_match
+    assert "WARNING" in c.describe()
+
+
+def test_compare_series_uses_history_for_change_point():
+    series = [observe(0.010, lbp=0.004, seed=s) for s in range(6)]
+    series += [observe(0.013, lbp=0.007, seed=10 + s) for s in range(6)]
+    c = compare_series(series)
+    assert c is not None
+    # latest vs predecessor: both post-shift, so no new regression...
+    assert not c.regressed
+    # ...but the change point localizes when the series moved
+    assert c.change_point is not None
+    assert abs(c.change_point.index - 6) <= 1
+
+
+def test_compare_series_with_explicit_baseline():
+    baseline = observe(0.010, lbp=0.004, seed=1)
+    series = [observe(0.013, lbp=0.007, seed=2)]
+    c = compare_series(series, baseline=baseline)
+    assert c is not None and c.regressed
+
+
+def test_compare_series_degenerate():
+    assert compare_series([]) is None
+    assert compare_series([observe(0.01, lbp=0.004)]) is None
+
+
+def test_classify_point_ratio():
+    assert classify_point_ratio(2.0, 1.0) == "regressed"
+    assert classify_point_ratio(2.0, 2.0) == "ok"
+    assert classify_point_ratio(2.0, 1.95) == "ok"  # above 0.95 threshold
+    for bad in (0.0, -1.0, float("nan"), float("inf")):
+        assert classify_point_ratio(bad, 1.0) == "indeterminate"
+    assert classify_point_ratio(1.0, float("nan")) == "indeterminate"
+    assert classify_point_ratio(1.0, -0.5) == "indeterminate"

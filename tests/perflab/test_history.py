@@ -1,0 +1,143 @@
+"""History store, trajectory snapshot, and schema-1 migration."""
+
+import json
+import os
+
+import pytest
+
+from repro.perflab.history import (
+    LEGACY_DIGEST,
+    HistoryStore,
+    load_trajectory,
+    migrate_bench_inspector,
+    write_trajectory,
+)
+from repro.perflab.protocol import MeasurementProtocol, ObservationKey
+
+from .test_fingerprint import make_fp
+
+KEY = ObservationKey("bench", "m", "sptrsv", "hdagg", "intel20")
+
+
+def observe(value=0.01, key=KEY, fp=None, note=""):
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=5)
+    return proto.measure(key, lambda: (value, {"inspect": value * 0.7}),
+                         fingerprint=fp or make_fp(), note=note)
+
+
+def test_append_and_reload(tmp_path):
+    path = tmp_path / "h.jsonl"
+    store = HistoryStore(path)
+    store.append(observe(0.01))
+    store.append(observe(0.02))
+    store.append(observe(0.01, key=ObservationKey("bench", "m2", "sptrsv", "hdagg")))
+    again = HistoryStore(path)
+    assert len(again) == 3
+    assert len(again.series_keys()) == 2
+    series = again.series(KEY, make_fp().digest)
+    assert [o.stats.statistic for o in series] == pytest.approx([0.01, 0.02])
+    assert again.latest(KEY, make_fp().digest).stats.statistic == pytest.approx(0.02)
+
+
+def test_different_environments_are_different_series(tmp_path):
+    store = HistoryStore(tmp_path / "h.jsonl")
+    store.append(observe(fp=make_fp()))
+    store.append(observe(fp=make_fp(numpy="9.9.9")))
+    assert len(store.series_keys()) == 2
+
+
+def test_header_is_validated(tmp_path):
+    path = tmp_path / "h.jsonl"
+    path.write_text('{"kind": "header", "schema": 99}\n')
+    with pytest.raises(ValueError, match="schema"):
+        HistoryStore(path)
+    path.write_text('{"not": "a header"}\n')
+    with pytest.raises(ValueError, match="header"):
+        HistoryStore(path)
+
+
+def test_appends_are_durable_per_line(tmp_path):
+    path = tmp_path / "h.jsonl"
+    store = HistoryStore(path)
+    store.append(observe())
+    # simulate a killed run: a torn trailing line on disk
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "observation", "schema": 2, "trunc')
+    with pytest.raises(json.JSONDecodeError):
+        HistoryStore(path)
+
+
+def test_trajectory_roundtrip_and_atomicity(tmp_path):
+    store = HistoryStore(tmp_path / "h.jsonl")
+    store.append(observe(0.01))
+    store.append(observe(0.02))
+    traj = tmp_path / "traj.json"
+    doc = write_trajectory(store, traj)
+    assert not os.path.exists(f"{traj}.tmp")  # tmp file replaced, not left
+    loaded = load_trajectory(traj)
+    assert loaded["schema"] == 2
+    (series,) = loaded["series"]
+    assert series["n_observations"] == 2
+    assert series["median_seconds"] == pytest.approx([0.01, 0.02])
+    assert series["latest"]["reps"] == 5
+    assert "inspect" in series["latest"]["stage_medians"]
+    assert doc["series"][0]["key"] == KEY.as_dict()
+    # regenerating produces the same document (derived state)
+    assert write_trajectory(store, traj) == doc
+
+
+def test_load_trajectory_refuses_other_kinds(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text('{"kind": "observation", "schema": 2}')
+    with pytest.raises(ValueError):
+        load_trajectory(p)
+
+
+def test_migrate_schema1(tmp_path):
+    legacy = tmp_path / "BENCH_inspector.json"
+    legacy.write_text(json.dumps({
+        "version": 1,
+        "sizes": [
+            {"matrix": "poisson2d(32)", "n": 1024, "edges": 1984,
+             "inspector_ms": 10.0,
+             "stage_ms": {"lbp": 6.0, "coarsen": 1.0},
+             "coarse_wavefronts": 21},
+            {"matrix": "poisson2d(48)", "n": 2304, "edges": 4512,
+             "inspector_ms": 20.0, "stage_ms": {}, "coarse_wavefronts": 30},
+        ],
+    }))
+    migrated = migrate_bench_inspector(legacy)
+    assert len(migrated) == 2
+    first = migrated[0]
+    assert first.key.benchmark == "inspector_scaling"
+    assert first.key.matrix == "poisson2d(32)"
+    assert first.timings == [pytest.approx(0.010)]
+    assert first.stages["inspect/lbp"] == [pytest.approx(0.006)]
+    assert first.fingerprint.digest == LEGACY_DIGEST
+    assert first.fingerprint.extra["migrated_from"] == str(legacy)
+    assert "migrated" in first.note
+    # single-sample migrated points flow through the store like any other
+    store = HistoryStore(tmp_path / "h.jsonl")
+    store.extend(migrated)
+    assert len(HistoryStore(tmp_path / "h.jsonl")) == 2
+
+
+def test_migrate_schema2_keeps_fingerprint(tmp_path):
+    fp = make_fp()
+    f = tmp_path / "BENCH_inspector.json"
+    f.write_text(json.dumps({
+        "schema": 2,
+        "fingerprint": fp.as_dict(),
+        "sizes": [{"matrix": "poisson2d(32)", "n": 1024, "edges": 1984,
+                   "inspector_ms": 10.0, "stage_ms": {"lbp": 6.0},
+                   "coarse_wavefronts": 21}],
+    }))
+    (obs,) = migrate_bench_inspector(f)
+    assert obs.fingerprint.digest == fp.digest
+
+
+def test_migrate_refuses_unknown_versions(tmp_path):
+    f = tmp_path / "x.json"
+    f.write_text('{"version": 7, "sizes": []}')
+    with pytest.raises(ValueError, match="version"):
+        migrate_bench_inspector(f)

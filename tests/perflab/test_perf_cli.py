@@ -1,0 +1,130 @@
+"""End-to-end ``hdagg-bench perf``: run, gate, attribution, report.
+
+This is the issue's acceptance scenario in miniature: two clean runs gate
+quiet; a run with a deterministic stall injected into one inspector stage
+gates red with that stage named.  One small matrix keeps each protocol
+run to a fraction of a second.
+"""
+
+import json
+
+import pytest
+
+from repro.perflab.cli import perf_main
+from repro.perflab.history import HistoryStore
+
+RUN = ["run", "--matrices", "mesh2d-s", "--warmup", "2",
+       "--min-reps", "6", "--max-reps", "12"]
+#: Shared-CI boxes drift 10-20% between back-to-back runs (frequency
+#: ramp, cache state), so the e2e assertions use a 35% noise floor and an
+#: injected stall far above it; the 0%/3%/10% calibration of the gate
+#: itself runs on deterministic synthetic streams in test_stats.py.
+GATE = ["gate", "--min-effect", "0.35"]
+STALL = ["--stall-stage", "lbp:0.02"]
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def run_cli(*argv):
+    return perf_main(list(argv))
+
+
+def test_run_appends_and_writes_trajectory(workdir):
+    assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "traj.json") == 0
+    store = HistoryStore("h.jsonl")
+    assert len(store) == 1
+    ((key, digest),) = store.series_keys()
+    assert key.benchmark == "inspector"
+    assert key.matrix == "mesh2d-s"
+    obs = store.latest(key, digest)
+    assert obs.reps >= 6
+    assert "inspect/lbp" in obs.stages
+    assert "execute" in obs.stages
+    doc = json.loads((workdir / "traj.json").read_text())
+    assert doc["kind"] == "trajectory" and doc["schema"] == 2
+    assert len(doc["series"]) == 1
+
+
+def test_back_to_back_runs_gate_quiet(workdir, capsys):
+    for _ in range(2):
+        assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "") == 0
+    assert run_cli(*GATE, "--history", "h.jsonl") == 0
+    out = capsys.readouterr()
+    assert "REGRESSED" not in out.out
+    assert "no confirmed regressions" in out.err
+
+
+def test_injected_stall_gates_red_with_stage_named(workdir, capsys):
+    assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "") == 0
+    # ~15ms inspector + a 20ms stall inside lbp: unambiguously confirmed
+    assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "",
+                   *STALL, "--note", "stalled") == 0
+    assert run_cli(*GATE, "--history", "h.jsonl") == 1
+    out = capsys.readouterr()
+    assert "REGRESSED" in out.out
+    assert "stage=inspect/lbp" in out.out
+    assert run_cli(*GATE, "--warn-only", "--history", "h.jsonl") == 0
+
+
+def test_gate_against_blessed_baseline(workdir):
+    assert run_cli(*RUN, "--history", "baseline.jsonl", "--trajectory", "") == 0
+    assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "", *STALL) == 0
+    assert run_cli(*GATE, "--history", "h.jsonl",
+                   "--baseline", "baseline.jsonl") == 1
+    # and a clean run against the same baseline passes
+    assert run_cli(*RUN, "--history", "clean.jsonl", "--trajectory", "") == 0
+    assert run_cli(*GATE, "--history", "clean.jsonl",
+                   "--baseline", "baseline.jsonl") == 0
+
+
+def test_report_writes_markdown_and_html(workdir, capsys):
+    for _ in range(2):
+        assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "") == 0
+    assert run_cli("report", "--history", "h.jsonl", "--out-dir", "out") == 0
+    md = (workdir / "out" / "perf_report.md").read_text()
+    html = (workdir / "out" / "perf_report.html").read_text()
+    assert "inspector/mesh2d-s" in md
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html  # sparkline present with >= 2 observations
+    assert "inspector/mesh2d-s" in html
+
+
+def test_compare_prints_stage_tables(workdir, capsys):
+    for _ in range(2):
+        assert run_cli(*RUN, "--history", "h.jsonl", "--trajectory", "") == 0
+    assert run_cli("compare", "--history", "h.jsonl") == 0
+    out = capsys.readouterr().out
+    assert "Stage breakdown" in out
+    assert "inspect/lbp" in out
+
+
+def test_migrate_is_idempotent(workdir, capsys):
+    legacy = workdir / "BENCH_inspector.json"
+    legacy.write_text(json.dumps({
+        "version": 1,
+        "sizes": [{"matrix": "poisson2d(32)", "n": 1024, "edges": 1984,
+                   "inspector_ms": 10.0, "stage_ms": {"lbp": 6.0},
+                   "coarse_wavefronts": 21}],
+    }))
+    argv = RUN + ["--history", "h.jsonl", "--trajectory", "",
+                  "--migrate", str(legacy)]
+    assert run_cli(*argv) == 0
+    assert run_cli(*argv) == 0
+    err = capsys.readouterr().err
+    assert "migrated 1 legacy" in err
+    assert "already migrated" in err
+    store = HistoryStore("h.jsonl")
+    # 1 migrated observation + 2 fresh runs, as separate series
+    assert len(store) == 3
+    assert len(store.series_keys()) == 2
+
+
+def test_dispatch_via_hdagg_bench(workdir):
+    from repro.suite.cli import main
+
+    assert main(["perf", *RUN, "--history", "h.jsonl", "--trajectory", ""]) == 0
+    assert len(HistoryStore("h.jsonl")) == 1

@@ -1,0 +1,111 @@
+"""Measurement protocol: warmup, adaptive repetition, stage alignment."""
+
+import itertools
+
+import pytest
+
+from repro.perflab.protocol import MeasurementProtocol, Observation, ObservationKey
+
+from .test_fingerprint import make_fp
+
+KEY = ObservationKey("bench", "m", "sptrsv", "hdagg", "intel20")
+
+
+def counting_rep(timings, stages=None):
+    """Rep callable replaying a scripted stream; records how often called."""
+    calls = itertools.count()
+
+    def rep():
+        i = next(calls)
+        t = timings[min(i, len(timings) - 1)]
+        return t, dict(stages[min(i, len(stages) - 1)]) if stages else (t, {})
+
+    rep.calls = lambda: next(calls)  # next value == total calls so far
+    return rep
+
+
+def test_warmup_reps_are_discarded():
+    seen = []
+
+    def rep():
+        seen.append(len(seen))
+        return 0.01, {}
+
+    proto = MeasurementProtocol(warmup=3, min_reps=5, max_reps=5)
+    obs = proto.measure(KEY, rep, fingerprint=make_fp())
+    assert len(seen) == 3 + 5
+    assert obs.reps == 5
+    assert obs.warmup == 3
+
+
+def test_adaptive_stops_early_on_tight_data():
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=30,
+                                target_rel_ci=0.05)
+    obs = proto.measure(KEY, lambda: (0.01, {}), fingerprint=make_fp())
+    assert obs.reps == 5  # constant stream: converged immediately
+    assert obs.converged
+
+
+def test_adaptive_keeps_going_on_noisy_data():
+    stream = itertools.cycle([0.001, 0.05, 0.002, 0.09, 0.01])
+
+    def rep():
+        return next(stream), {}
+
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=11, batch=3,
+                                target_rel_ci=0.01)
+    obs = proto.measure(KEY, rep, fingerprint=make_fp())
+    assert obs.reps == 11  # 5 + 2 batches of 3; 11 + 3 > 11 stops
+    assert not obs.converged
+
+
+def test_stage_lists_stay_rep_aligned():
+    # stage "b" appears only from rep 2 on; earlier reps must back-fill 0.0
+    script = [
+        (0.01, {"a": 0.01}),
+        (0.01, {"a": 0.01}),
+        (0.02, {"a": 0.01, "b": 0.01}),
+        (0.02, {"a": 0.01, "b": 0.01}),
+        (0.01, {"a": 0.01}),
+    ]
+    stream = iter(script)
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=5)
+    obs = proto.measure(KEY, lambda: next(stream), fingerprint=make_fp())
+    assert obs.stages["a"] == [0.01] * 5
+    assert obs.stages["b"] == [0.0, 0.0, 0.01, 0.01, 0.0]
+    assert all(len(v) == obs.reps for v in obs.stages.values())
+
+
+def test_observation_roundtrip():
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=5, seed=3)
+    obs = proto.measure(KEY, lambda: (0.01, {"inspect": 0.007}),
+                        fingerprint=make_fp(), note="hello")
+    blob = obs.as_dict()
+    again = Observation.from_dict(blob)
+    assert again.key == obs.key
+    assert again.timings == obs.timings
+    assert again.stages == obs.stages
+    assert again.note == "hello"
+    assert again.stats.statistic == obs.stats.statistic
+    assert again.fingerprint.digest == obs.fingerprint.digest
+
+
+def test_from_dict_refuses_other_schemas():
+    proto = MeasurementProtocol(warmup=0, min_reps=5, max_reps=5)
+    blob = proto.measure(KEY, lambda: (0.01, {}), fingerprint=make_fp()).as_dict()
+    blob["schema"] = 99
+    with pytest.raises(ValueError, match="schema"):
+        Observation.from_dict(blob)
+    blob["schema"] = 2
+    blob["kind"] = "header"
+    with pytest.raises(ValueError, match="kind"):
+        Observation.from_dict(blob)
+
+
+def test_protocol_validation():
+    with pytest.raises(ValueError):
+        MeasurementProtocol(min_reps=1)
+    with pytest.raises(ValueError):
+        MeasurementProtocol(min_reps=5, max_reps=4)
+    with pytest.raises(ValueError):
+        MeasurementProtocol(target_rel_ci=0.0)

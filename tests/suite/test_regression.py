@@ -1,6 +1,7 @@
 """Tests for the record A/B diff tool."""
 
 import dataclasses
+import math
 
 import pytest
 
@@ -53,5 +54,25 @@ def test_delta_properties():
     d = RecordDelta(key=("m", "k", "a", "x"), old_speedup=2.0, new_speedup=1.0)
     assert d.ratio == 0.5
     assert d.regressed
-    z = RecordDelta(key=("m", "k", "a", "x"), old_speedup=0.0, new_speedup=1.0)
-    assert z.ratio == float("inf")
+    assert not d.indeterminate
+
+
+def test_bad_baseline_is_indeterminate_not_infinite():
+    # a zero/negative/non-finite baseline supports no ratio: the cell is
+    # flagged, never silently waved through as an infinite "improvement"
+    for bad in (0.0, -1.0, float("nan"), float("inf")):
+        z = RecordDelta(key=("m", "k", "a", "x"), old_speedup=bad, new_speedup=1.0)
+        assert z.indeterminate
+        assert math.isnan(z.ratio)
+        assert not z.regressed
+
+
+def test_report_surfaces_indeterminate_cells(records):
+    broken = [
+        dataclasses.replace(r, speedup=0.0 if r.algorithm == "hdagg" else r.speedup)
+        for r in records
+    ]
+    report = regression_report(broken, records)
+    assert "indeterminate" in report
+    n_bad = sum(1 for r in records if r.algorithm == "hdagg")
+    assert f"{n_bad} cell(s) indeterminate" in report
