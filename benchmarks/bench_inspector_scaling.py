@@ -47,16 +47,20 @@ def test_subtree_grouping_scaling(benchmark, dags):
     benchmark(subtree_grouping, g_red)
 
 
-def test_full_inspector_scaling(benchmark, dags, output_dir):
+def test_full_inspector_scaling(benchmark, dags, output_dir, backend_spec):
     import time
 
+    backend_desc = (
+        backend_spec.effective().describe() if backend_spec is not None else ""
+    )
+    hdagg_kwargs = {"backend": backend_spec} if backend_spec is not None else {}
     rows = []
     times = []
     json_rows = []
     for nx, a, g in dags:
         cost = KERNELS["sptrsv"].cost(a)  # full-matrix cost proxy, fine for timing
         t0 = time.perf_counter()
-        s = hdagg(g, np.asarray(cost, dtype=float)[: g.n], 20)
+        s = hdagg(g, np.asarray(cost, dtype=float)[: g.n], 20, **hdagg_kwargs)
         dt = time.perf_counter() - t0
         times.append(dt)
         rows.append([f"poisson2d({nx})", g.n, g.n_edges, dt * 1e3, s.n_levels])
@@ -81,7 +85,12 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
             title="HDagg inspector scaling (Section IV-E)",
         ),
     )
-    write_json_payload(output_dir, "BENCH_inspector", {"sizes": json_rows})
+    write_json_payload(
+        output_dir,
+        "BENCH_inspector",
+        {"backend": backend_desc, "sizes": json_rows},
+        backend=backend_desc,
+    )
     # near-linear growth: more edges should cost well under quadratically
     # more time
     edge_ratio = dags[-1][2].n_edges / dags[0][2].n_edges
@@ -91,4 +100,5 @@ def test_full_inspector_scaling(benchmark, dags, output_dir):
     # benchmark the largest instance for the timing report
     nx, a, g = dags[-1]
     cost = np.ones(g.n)
-    benchmark.pedantic(hdagg, args=(g, cost, 20), rounds=3, iterations=1)
+    benchmark.pedantic(hdagg, args=(g, cost, 20), kwargs=hdagg_kwargs,
+                       rounds=3, iterations=1)

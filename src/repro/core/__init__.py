@@ -2,8 +2,19 @@
 
 from .aggregation import aggregate_densely_connected, subtree_grouping
 from .analysis import level_table, schedule_report, utilization_chart
+from .backends import BackendSpec, resolve_stage
 from .binpack import BinPacking, first_fit_pack
 from .hdagg import expand_lbp_to_schedule, hdagg
+from .incremental import (
+    IncrementalScheduleCache,
+    InspectionArtifacts,
+    PatternDelta,
+    RepairResult,
+    diff_dag,
+    family_key,
+    inspect_with_artifacts,
+    repair_schedule,
+)
 from .inspector import HDaggInspector
 from .lbp import CoarsenedWavefront, LBPDecision, LBPResult, lbp_coarsen
 from .pgp import DEFAULT_EPSILON, accumulated_pgp, pgp, pgp_worst_case
@@ -43,6 +54,16 @@ __all__ = [
     "ScheduleCache",
     "CacheStats",
     "schedule_key",
+    "BackendSpec",
+    "resolve_stage",
+    "PatternDelta",
+    "diff_dag",
+    "InspectionArtifacts",
+    "inspect_with_artifacts",
+    "RepairResult",
+    "repair_schedule",
+    "family_key",
+    "IncrementalScheduleCache",
     "verify_schedule",
     "VerificationReport",
     "WidthPartition",

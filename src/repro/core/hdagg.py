@@ -27,15 +27,14 @@ from typing import List
 
 import numpy as np
 
-from ..graph.coarsen import Grouping, coarsen_dag, identity_grouping
+from ..graph.coarsen import Grouping, identity_grouping
 from ..graph.dag import DAG, gather_slices
-from ..graph.transitive_reduction import transitive_reduction_two_hop
 from ..observability.state import STATE as _OBS_STATE
 from ..resilience.faults import fault_point
 from ..runtime.perf import StageTimer
 from ..sparse.csr import INDEX_DTYPE
-from .aggregation import subtree_grouping
-from .lbp import LBPResult, lbp_coarsen
+from .backends import BackendSpec, resolve_stage
+from .lbp import LBPResult
 from .pgp import DEFAULT_EPSILON
 from .schedule import Schedule, WidthPartition
 
@@ -66,6 +65,46 @@ def _grouping_csr(grouping: Grouping) -> tuple[np.ndarray, np.ndarray]:
     return ptr, flat
 
 
+def _expand_cw(
+    cw, fine_grained: bool, gptr: np.ndarray, gflat: np.ndarray,
+    gsize: np.ndarray, p: int,
+) -> List[WidthPartition]:
+    """Expand one coarsened wavefront into its width-partitions.
+
+    Expands the whole coarsened wavefront at once: gather every member
+    vertex, tag it with its target bucket (bin, or component in
+    fine-grained mode), and one lexsort by (bucket, id) yields each
+    partition's smallest-id-first vertex list as a slice.  Shared by the
+    full expansion and the incremental repair path, which re-expands only
+    the coarsened wavefronts inside the dirty window.
+    """
+    sizes = np.asarray([c.shape[0] for c in cw.components], dtype=INDEX_DTYPE)
+    coarse_all = np.concatenate(cw.components)
+    comp_of_coarse = np.repeat(np.arange(sizes.shape[0], dtype=INDEX_DTYPE), sizes)
+    if fine_grained:
+        bucket_of_coarse = comp_of_coarse
+        n_buckets = sizes.shape[0]
+        cores = np.full(n_buckets, -1, dtype=INDEX_DTYPE)
+    else:
+        bucket_of_coarse = cw.packing.assignment[comp_of_coarse]
+        n_buckets = p
+        cores = np.arange(p, dtype=INDEX_DTYPE)
+    verts = gather_slices(gptr, gflat, coarse_all)
+    bucket = np.repeat(bucket_of_coarse, gsize[coarse_all])
+    order = np.lexsort((verts, bucket))
+    sv = verts[order]
+    ptr = np.zeros(n_buckets + 1, dtype=np.int64)
+    np.cumsum(np.bincount(bucket, minlength=n_buckets), out=ptr[1:])
+    ptr_list = ptr.tolist()
+    parts: List[WidthPartition] = []
+    for b, core in enumerate(cores.tolist()):
+        lo, hi = ptr_list[b], ptr_list[b + 1]
+        if lo == hi:
+            continue
+        parts.append(WidthPartition(core=core, vertices=np.ascontiguousarray(sv[lo:hi])))
+    return parts
+
+
 def expand_lbp_to_schedule(
     lbp: LBPResult,
     grouping: Grouping,
@@ -88,40 +127,9 @@ def expand_lbp_to_schedule(
 
     levels: List[List[WidthPartition]] = []
     for cw in lbp.coarsened:
-        parts: List[WidthPartition] = []
         if not cw.components:
             continue
-        # Expand the whole coarsened wavefront at once: gather every
-        # member vertex, tag it with its target bucket (bin, or component
-        # in fine-grained mode), and one lexsort by (bucket, id) yields
-        # each partition's smallest-id-first vertex list as a slice.
-        sizes = np.asarray([c.shape[0] for c in cw.components], dtype=INDEX_DTYPE)
-        coarse_all = np.concatenate(cw.components)
-        comp_of_coarse = np.repeat(
-            np.arange(sizes.shape[0], dtype=INDEX_DTYPE), sizes
-        )
-        if lbp.fine_grained:
-            bucket_of_coarse = comp_of_coarse
-            n_buckets = sizes.shape[0]
-            cores = np.full(n_buckets, -1, dtype=INDEX_DTYPE)
-        else:
-            bucket_of_coarse = cw.packing.assignment[comp_of_coarse]
-            n_buckets = p
-            cores = np.arange(p, dtype=INDEX_DTYPE)
-        verts = gather_slices(gptr, gflat, coarse_all)
-        bucket = np.repeat(bucket_of_coarse, gsize[coarse_all])
-        order = np.lexsort((verts, bucket))
-        sv = verts[order]
-        ptr = np.zeros(n_buckets + 1, dtype=np.int64)
-        np.cumsum(np.bincount(bucket, minlength=n_buckets), out=ptr[1:])
-        ptr_list = ptr.tolist()
-        for b, core in enumerate(cores.tolist()):
-            lo, hi = ptr_list[b], ptr_list[b + 1]
-            if lo == hi:
-                continue
-            parts.append(
-                WidthPartition(core=core, vertices=np.ascontiguousarray(sv[lo:hi]))
-            )
+        parts = _expand_cw(cw, lbp.fine_grained, gptr, gflat, gsize, p)
         if parts:
             levels.append(parts)
     return Schedule(
@@ -146,6 +154,7 @@ def hdagg(
     bin_pack: bool = True,
     group_cost_cap_fraction: float | None = 0.25,
     sync: str = "barrier",
+    backend: "BackendSpec | str | None" = None,
 ) -> Schedule:
     """Build the HDagg schedule for DAG ``g`` with vertex costs ``cost``.
 
@@ -179,12 +188,59 @@ def hdagg(
         synchronise point-to-point like SpMP groups, letting coarsened
         wavefronts overlap — safe because width-partitions are connected
         components (no intra-level dependences by construction).
+    backend:
+        Per-stage implementation selection (:class:`BackendSpec`, its
+        string grammar such as ``"lbp=compiled,coarsen=compiled"``, or
+        ``None`` to read the ``REPRO_BACKENDS`` environment variable).
+        Every tier is bit-identical; the spec only changes speed.
+    """
+    schedule, _ = _hdagg_pipeline(
+        g, cost, p, epsilon,
+        aggregate=aggregate, transitive_reduce=transitive_reduce,
+        bin_pack=bin_pack, group_cost_cap_fraction=group_cost_cap_fraction,
+        sync=sync, backend=backend,
+    )
+    return schedule
+
+
+def _hdagg_pipeline(
+    g: DAG,
+    cost: np.ndarray,
+    p: int,
+    epsilon: float = DEFAULT_EPSILON,
+    *,
+    aggregate: bool = True,
+    transitive_reduce: bool = True,
+    bin_pack: bool = True,
+    group_cost_cap_fraction: float | None = 0.25,
+    sync: str = "barrier",
+    backend: "BackendSpec | str | None" = None,
+) -> tuple[Schedule, dict]:
+    """Algorithm 1 with its intermediate artifacts exposed.
+
+    Returns ``(schedule, internals)`` where ``internals`` carries every
+    stage product the incremental repair path needs (reduced DAG,
+    grouping, coarse DAG, group costs, LBP result, effective backend
+    description).  :func:`hdagg` is the thin public wrapper that drops
+    the internals.
     """
     cost = np.asarray(cost, dtype=np.float64)
     if cost.shape[0] != g.n:
         raise ValueError(f"cost has length {cost.shape[0]}, expected {g.n}")
+    spec = BackendSpec.coerce(backend)
     if g.n == 0:
-        return Schedule(n=0, levels=[], sync="barrier", algorithm="hdagg", n_cores=p)
+        return (
+            Schedule(n=0, levels=[], sync="barrier", algorithm="hdagg", n_cores=p),
+            {"backend": spec.effective().describe()},
+        )
+
+    reduce_fn, _rt = resolve_stage(spec, "reduce")
+    aggregate_fn, _at = resolve_stage(spec, "aggregate")
+    coarsen_fn, _ct = resolve_stage(spec, "coarsen")
+    lbp_fn, _lt = resolve_stage(spec, "lbp")
+    pack_fn, pack_tier = resolve_stage(spec, "binpack")
+    expand_fn, _et = resolve_stage(spec, "expand")
+    backend_used = spec.effective().describe()
 
     timer = StageTimer()
     # ---------------- Step 1 (Lines 1-20) ----------------
@@ -193,7 +249,7 @@ def hdagg(
             "inspect/transitive_reduction", n=g.n, n_edges=g.n_edges
         ):
             fault_point("inspector.stage", label="transitive_reduction")
-            g_base = transitive_reduction_two_hop(g) if transitive_reduce else g
+            g_base = reduce_fn(g) if transitive_reduce else g
         cap = (
             group_cost_cap_fraction * float(cost.sum()) / p
             if group_cost_cap_fraction is not None
@@ -201,19 +257,21 @@ def hdagg(
         )
         with timer.stage("aggregation"), _span("inspect/aggregation"):
             fault_point("inspector.stage", label="aggregation")
-            grouping = subtree_grouping(g_base, cost, cap)
+            grouping = aggregate_fn(g_base, cost, cap)
     else:
         g_base = g
         grouping = identity_grouping(g.n)
     with timer.stage("coarsen"), _span("inspect/coarsen"):
         fault_point("inspector.stage", label="coarsen")
-        g2 = coarsen_dag(g_base, grouping)
-        group_cost = grouping.group_costs(cost)
+        g2, group_cost = coarsen_fn(g_base, grouping, cost)
 
     # ---------------- Step 2 (Lines 21-38) ----------------
     with timer.stage("lbp"), _span("inspect/lbp", n_coarse=g2.n, epsilon=epsilon):
         fault_point("inspector.stage", label="lbp")
-        lbp = lbp_coarsen(g2, group_cost, p, epsilon, allow_fine_grained=True)
+        lbp = lbp_fn(
+            g2, group_cost, p, epsilon, allow_fine_grained=True,
+            pack=None if pack_tier == "numpy" else pack_fn,
+        )
     if not bin_pack:
         lbp.fine_grained = True
 
@@ -227,13 +285,24 @@ def hdagg(
         "accumulated_pgp": lbp.accumulated_pgp,
         "cut_positions": lbp.cut_positions,
         "epsilon": epsilon,
+        "backend": backend_used,
     }
     with timer.stage("expand"), _span("inspect/expand"):
         fault_point("inspector.stage", label="expand")
-        schedule = expand_lbp_to_schedule(lbp, grouping, g.n, p, sync=sync, meta=meta)
+        schedule = expand_fn(lbp, grouping, g.n, p, sync=sync, meta=meta)
     # per-stage seconds for NRE-style reporting; to_dict() drops non-JSON
     # meta values, so this never leaks into serialized schedules
     schedule.meta["stage_seconds"] = timer.as_dict()
+    internals = {
+        "g": g,
+        "g_base": g_base,
+        "grouping": grouping,
+        "g2": g2,
+        "group_cost": group_cost,
+        "lbp": lbp,
+        "backend": backend_used,
+        "cap": cap if aggregate else None,
+    }
     if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
         # metrics are recorded post-hoc from the LBP decision log / packing
         # results, so the inspector hot loops stay untouched
@@ -249,4 +318,4 @@ def hdagg(
         for cw in lbp.coarsened:
             if cw.packing is not None and p > 0:
                 occupancy.observe(cw.packing.n_bins_used / p)
-    return schedule
+    return schedule, internals

@@ -32,7 +32,7 @@ from .schedule import Schedule
 
 __all__ = ["CacheStats", "ScheduleCache", "schedule_key"]
 
-_KEY_VERSION = b"repro-schedule-key-v1\0"
+_KEY_VERSION = b"repro-schedule-key-v2\0"
 
 
 def schedule_key(
@@ -43,15 +43,20 @@ def schedule_key(
     p: int,
     epsilon: float | None = None,
     cost: np.ndarray | None = None,
+    backend: str = "",
     options: dict | None = None,
 ) -> str:
     """Digest identifying one inspection problem.
 
     Covers the DAG structure (``indptr``/``indices`` bytes — the full CSR
-    pattern), the kernel and algorithm names, the core count, epsilon, and
-    any extra keyword options (sorted by name, ``repr``-encoded).  ``cost``
-    is optional because kernels derive it deterministically from the
-    pattern; pass it when costs come from elsewhere.
+    pattern), the kernel and algorithm names, the core count, epsilon, the
+    active backend spec, and any extra keyword options (sorted by name,
+    ``repr``-encoded).  ``cost`` is optional because kernels derive it
+    deterministically from the pattern; pass it when costs come from
+    elsewhere.  ``backend`` keeps schedules produced by different inspector
+    tiers in distinct slots — tiers are bit-identical by contract, but a
+    cache hit must never mask a tier divergence from the differential
+    tests, and provenance (which tier built this schedule) must stay exact.
     """
     h = sha256(_KEY_VERSION)
     h.update(np.int64(g.n).tobytes())
@@ -66,6 +71,7 @@ def schedule_key(
         algorithm,
         int(p),
         None if epsilon is None else float(epsilon),
+        str(backend),
         sorted((options or {}).items()),
     )
     h.update(repr(params).encode("utf-8"))

@@ -38,7 +38,12 @@ from typing import List, Optional, Tuple
 
 import statistics
 
-from .bench import PERF_SMOKE, run_inspector_benchmarks
+from .bench import (
+    PERF_SMOKE,
+    REPAIR_SMOKE_MATRIX,
+    run_inspector_benchmarks,
+    run_repair_benchmark,
+)
 from .compare import ObservationComparison, compare_observations, compare_series
 from .history import HistoryStore, write_trajectory, migrate_bench_inspector
 from .protocol import MeasurementProtocol, Observation
@@ -79,6 +84,14 @@ def build_perf_parser() -> argparse.ArgumentParser:
     run.add_argument("--ordering", default="nd",
                      choices=["nd", "rcm", "natural", "random"])
     run.add_argument("--epsilon", type=float, default=None)
+    run.add_argument("--backend", default=None, metavar="SPEC",
+                     help="inspector backend spec for hdagg cells, e.g. "
+                          "'lbp=compiled,coarsen=compiled' or 'compiled' "
+                          "(default: follow REPRO_BACKENDS; stamped into "
+                          "the fingerprint so tiers never share a series)")
+    run.add_argument("--no-repair-cell", action="store_true",
+                     help="skip the repair-vs-full smoke cell appended "
+                          "after the inspector cells (warn-only either way)")
     run.add_argument("--warmup", type=int, default=2)
     run.add_argument("--min-reps", type=int, default=5)
     run.add_argument("--max-reps", type=int, default=30)
@@ -114,6 +127,26 @@ def build_perf_parser() -> argparse.ArgumentParser:
     gate.add_argument("--warn-only", action="store_true",
                       help="report regressions but exit 0 (CI soft-launch)")
     return p
+
+
+#: documented incremental-repair budget: repair of a small pattern delta
+#: should cost at most this fraction of a full re-inspection
+_REPAIR_BUDGET = 0.25
+
+
+def _warn_repair_ratio(obs: Observation) -> None:
+    """Advisory check of the repair smoke cell — never fails the run."""
+    repairs = [t for t in obs.stages.get("repair", []) if t > 0]
+    fulls = [t for t in obs.stages.get("full", []) if t > 0]
+    if not repairs or not fulls:
+        return
+    ratio = statistics.median(repairs) / statistics.median(fulls)
+    verdict = "within" if ratio <= _REPAIR_BUDGET else "OVER"
+    line = (f"# repair smoke cell: median repair {ratio:.2f}x of a full "
+            f"inspection — {verdict} the {_REPAIR_BUDGET:.0%} budget")
+    if ratio > _REPAIR_BUDGET:
+        line += " (warn-only; not gating)"
+    print(line, file=sys.stderr)
 
 
 def _parse_stall(spec: str) -> Tuple[str, float]:
@@ -194,7 +227,7 @@ def _cmd_run(args) -> int:
               f"in {obs.protocol_seconds:.2f}s{mark}", file=sys.stderr)
 
     def measure() -> List[Observation]:
-        return run_inspector_benchmarks(
+        observations = run_inspector_benchmarks(
             args.matrices,
             kernel=args.kernel,
             algorithm=args.algorithm,
@@ -202,10 +235,27 @@ def _cmd_run(args) -> int:
             cores=args.cores,
             ordering=args.ordering,
             epsilon=args.epsilon,
+            backend=args.backend,
             protocol=protocol,
             note=args.note,
             progress=progress,
         )
+        if args.algorithm == "hdagg" and not args.no_repair_cell:
+            # the repair cell keeps its own matrix/cores/ordering defaults:
+            # they pin the documented repair-budget configuration rather
+            # than following the inspector cells' grid
+            obs = run_repair_benchmark(
+                REPAIR_SMOKE_MATRIX,
+                kernel=args.kernel,
+                epsilon=args.epsilon,
+                backend=args.backend,
+                protocol=protocol,
+                note=args.note,
+                progress=progress,
+            )
+            observations.append(obs)
+            _warn_repair_ratio(obs)
+        return observations
 
     if args.stall_stage:
         from ..resilience.faults import FaultPlan, FaultSpec, armed

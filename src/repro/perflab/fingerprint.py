@@ -128,6 +128,14 @@ class EnvironmentFingerprint:
     numpy: str
     scipy: str
     blas: str
+    #: inspector backend spec the observations ran under (canonical
+    #: ``BackendSpec.describe()`` form).  Part of the environment key:
+    #: compiled- and numpy-tier timings must never be longitudinally
+    #: compared as if one machine produced both.  Empty (the default, and
+    #: the value for every pre-backend history line) is excluded from the
+    #: digest payload so existing histories and blessed baselines keep
+    #: their digests.
+    backend: str = ""
     # --- provenance (stamped, not hashed) ------------------------------
     git_sha: str = ""
     observability_enabled: bool = False
@@ -148,7 +156,10 @@ class EnvironmentFingerprint:
     @property
     def digest(self) -> str:
         """Short stable hash of the environment-key fields."""
-        payload = repr(tuple(getattr(self, f) for f in self._KEY_FIELDS))
+        parts = tuple(getattr(self, f) for f in self._KEY_FIELDS)
+        if self.backend:
+            parts = parts + (self.backend,)
+        payload = repr(parts)
         return sha256(payload.encode("utf-8")).hexdigest()[:12]
 
     def as_dict(self) -> dict:
@@ -171,15 +182,18 @@ class EnvironmentFingerprint:
             f"python {self.python}, numpy {self.numpy}"
             f"{', scipy ' + self.scipy if self.scipy else ''}"
             f"{', ' + self.blas if self.blas else ''}"
+            f"{', backend ' + self.backend if self.backend else ''}"
             f"{', git ' + self.git_sha if self.git_sha else ''}"
             f" [{self.digest}]"
         )
 
 
-def collect_fingerprint(**extra: str) -> EnvironmentFingerprint:
+def collect_fingerprint(backend: str = "", **extra: str) -> EnvironmentFingerprint:
     """Probe the current process's environment; never raises.
 
-    ``extra`` key/values are stamped into provenance (e.g.
+    ``backend`` is the canonical inspector backend description the run
+    measures under (environment key; leave empty for backend-agnostic
+    artifacts).  ``extra`` key/values are stamped into provenance (e.g.
     ``collect_fingerprint(benchmark="perf-smoke")``).
     """
     import numpy as np
@@ -213,6 +227,7 @@ def collect_fingerprint(**extra: str) -> EnvironmentFingerprint:
         numpy=np.__version__,
         scipy=scipy_version,
         blas=blas_backend(),
+        backend=str(backend),
         git_sha=git_sha(),
         observability_enabled=obs_enabled,
         faults_armed=faults,

@@ -154,13 +154,17 @@ def _call_inspector(
     p: int,
     *,
     epsilon: Optional[float],
+    backend=None,
 ) -> Schedule:
     from ..schedulers import SCHEDULERS
 
     fault_point("inspector", label=algorithm)
+    # only the hdagg pipeline has a backend registry; fallbacks further
+    # down the chain must not receive (and would reject) the kwarg
+    extra = {"backend": backend} if backend is not None and algorithm == "hdagg" else {}
     if epsilon is not None and algorithm in ("hdagg", "lbc"):
-        return SCHEDULERS[algorithm](g, cost, p, epsilon=epsilon)
-    return SCHEDULERS[algorithm](g, cost, p)
+        return SCHEDULERS[algorithm](g, cost, p, epsilon=epsilon, **extra)
+    return SCHEDULERS[algorithm](g, cost, p, **extra)
 
 
 def inspect_with_fallback(
@@ -172,6 +176,7 @@ def inspect_with_fallback(
     epsilon: Optional[float] = None,
     budget: Optional[float] = None,
     validate: bool = True,
+    backend=None,
 ) -> InspectionOutcome:
     """Build a schedule for ``algorithm``, degrading down the chain on failure.
 
@@ -188,7 +193,9 @@ def inspect_with_fallback(
     for algo in fallback_chain(algorithm):
         try:
             schedule = run_with_budget(
-                lambda a=algo: _call_inspector(a, g, cost, p, epsilon=epsilon),
+                lambda a=algo: _call_inspector(
+                    a, g, cost, p, epsilon=epsilon, backend=backend
+                ),
                 budget,
                 algorithm=algo,
             )

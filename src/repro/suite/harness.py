@@ -45,6 +45,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from ..analysis.verifier import assert_schedule_safe, verify_dependences
+from ..core.backends import BackendSpec
+from ..core.incremental import IncrementalScheduleCache, family_key
 from ..core.pgp import DEFAULT_EPSILON, accumulated_pgp
 from ..core.schedule_cache import ScheduleCache, schedule_key
 from ..kernels import KERNELS
@@ -130,6 +132,14 @@ class RunRecord:
     #: comma-joined algorithms that failed before the fallback succeeded
     #: (the requested inspector first); empty when not degraded
     degraded_from: str = ""
+    #: canonical backend-spec description of the inspector tier that built
+    #: the schedule (``schedule.meta["backend"]``); empty for algorithms
+    #: that have no backend registry
+    backend: str = ""
+    #: True when the schedule came from an incremental pattern repair
+    #: (:class:`~repro.core.incremental.IncrementalScheduleCache`) rather
+    #: than a full inspection or an exact cache hit
+    schedule_repaired: bool = False
 
 
 @dataclass
@@ -242,6 +252,13 @@ class Harness:
         matrix in :meth:`prepare` (repairing what is repairable, rejecting
         structural corruption with a structured error).  Well-formed
         matrices pass through unchanged.
+    backend:
+        Inspector backend selection for HDagg cells — a
+        :class:`~repro.core.backends.BackendSpec`, a grammar string
+        (``"lbp=compiled,coarsen=compiled"``), or ``None`` to follow the
+        ``REPRO_BACKENDS`` environment variable.  Tiers are bit-identical
+        by contract, so this changes inspector wall time only; the spec is
+        folded into cache keys and stamped into ``RunRecord.backend``.
     """
 
     def __init__(
@@ -257,6 +274,7 @@ class Harness:
         fallback: bool = True,
         inspector_budget: Optional[float] = None,
         sanitize: bool = True,
+        backend: Union[str, BackendSpec, None] = None,
     ) -> None:
         self.machines: List[MachineConfig] = [
             m if isinstance(m, MachineConfig) else MACHINES[m] for m in machines
@@ -278,6 +296,9 @@ class Harness:
             raise ValueError("inspector_budget must be positive or None")
         self.inspector_budget = inspector_budget
         self.sanitize = sanitize
+        # resolve once so a mid-run environment change cannot split the
+        # grid across tiers (the env source is read exactly here)
+        self.backend: BackendSpec = BackendSpec.coerce(backend)
 
     def __getstate__(self) -> dict:
         # worker processes re-inspect rather than ship the cache's schedules
@@ -297,6 +318,7 @@ class Harness:
                 float(self.epsilon),
                 self.validate,
                 tuple(s.name for s in specs),
+                self.backend.describe(),
             )
         )
         return sha256(payload.encode("utf-8")).hexdigest()[:16]
@@ -377,6 +399,10 @@ class Harness:
                             f"suite/cell[{spec.name},{kname},{algo},{machine.name}]"
                         )
                     uses_epsilon = algo in ("hdagg", "lbc")
+                    backend_desc = self.backend.describe() if algo == "hdagg" else ""
+                    incremental = algo == "hdagg" and isinstance(
+                        self.schedule_cache, IncrementalScheduleCache
+                    )
                     key = None
                     cached = None
                     if self.schedule_cache is not None:
@@ -386,8 +412,13 @@ class Harness:
                             algorithm=algo,
                             p=machine.n_cores,
                             epsilon=self.epsilon if uses_epsilon else None,
+                            backend=backend_desc,
                         )
-                        cached = self.schedule_cache.get(key)
+                        if not incremental:
+                            # the incremental path looks the key up itself
+                            # inside acquire(); probing here too would
+                            # double-count hits and misses
+                            cached = self.schedule_cache.get(key)
                     t0 = time.perf_counter()
                     if cached is not None and self.validate:
                         # hits are re-verified without touching their meta:
@@ -401,8 +432,44 @@ class Harness:
                     used_algo = algo
                     degraded = False
                     degraded_from = ""
+                    repaired = False
+                    acquired = False
                     if cached is not None:
                         schedule = cached
+                    elif incremental:
+                        family = family_key(
+                            kernel=kname,
+                            algorithm=algo,
+                            p=machine.n_cores,
+                            epsilon=self.epsilon,
+                            backend=backend_desc,
+                            label=spec.name,
+                        )
+                        for _ in range(2):
+                            schedule, source = self.schedule_cache.acquire(
+                                key,
+                                family,
+                                g,
+                                cost,
+                                p=machine.n_cores,
+                                epsilon=self.epsilon,
+                                backend=self.backend,
+                            )
+                            if source == "hit" and self.validate:
+                                report = verify_dependences(
+                                    schedule, g, max_witnesses=1, stamp_meta=False
+                                )
+                                if not report.ok:
+                                    # corrupted hit: drop it and re-acquire —
+                                    # the retry repairs or re-inspects
+                                    self.schedule_cache.invalidate(key)
+                                    continue
+                            break
+                        if source != "hit" and self.validate:
+                            assert_schedule_safe(schedule, g)
+                        cached = schedule if source == "hit" else None
+                        repaired = source == "repaired"
+                        acquired = True
                     elif self.fallback:
                         outcome = inspect_with_fallback(
                             algo,
@@ -412,6 +479,7 @@ class Harness:
                             epsilon=self.epsilon if uses_epsilon else None,
                             budget=self.inspector_budget,
                             validate=self.validate,
+                            backend=self.backend if algo == "hdagg" else None,
                         )
                         schedule = outcome.schedule
                         used_algo = outcome.algorithm
@@ -419,7 +487,15 @@ class Harness:
                         degraded_from = outcome.degraded_from
                     else:
                         fault_point("inspector", label=algo)
-                        if uses_epsilon:
+                        if algo == "hdagg":
+                            schedule = SCHEDULERS[algo](
+                                g,
+                                cost,
+                                machine.n_cores,
+                                epsilon=self.epsilon,
+                                backend=self.backend,
+                            )
+                        elif uses_epsilon:
                             schedule = SCHEDULERS[algo](
                                 g, cost, machine.n_cores, epsilon=self.epsilon
                             )
@@ -431,9 +507,10 @@ class Harness:
                             # verifier cost lands in RunRecord.stage_seconds
                             assert_schedule_safe(schedule, g)
                     inspector_seconds = time.perf_counter() - t0
-                    if key is not None and cached is None and not degraded:
+                    if key is not None and cached is None and not degraded and not acquired:
                         # a degraded schedule must not poison the cache entry
-                        # of the algorithm that failed to produce it
+                        # of the algorithm that failed to produce it; the
+                        # incremental path already stored via acquire()
                         self.schedule_cache.put(key, schedule)
                     sim = simulate(schedule, g, cost, memory, machine)
                     serial = serial_results[machine.name]
@@ -492,6 +569,8 @@ class Harness:
                             schedule_cached=cached is not None,
                             degraded=degraded,
                             degraded_from=degraded_from,
+                            backend=str(schedule.meta.get("backend", "")),
+                            schedule_repaired=repaired,
                         )
                     )
         return records

@@ -32,10 +32,16 @@ _FLOAT_FIELDS = {
     f.name for f in fields(RunRecord) if f.type in ("float", float)
 }
 
-#: Resilience fields are serialised only when they carry information, so
-#: records of non-degraded runs (and the --json payloads built from them)
-#: stay byte-identical to those written before the fields existed.
-_DORMANT_DEFAULTS = {"degraded": False, "degraded_from": ""}
+#: Resilience and provenance fields are serialised only when they carry
+#: information, so records of non-degraded default-backend runs (and the
+#: --json payloads built from them) stay byte-identical to those written
+#: before the fields existed.
+_DORMANT_DEFAULTS = {
+    "degraded": False,
+    "degraded_from": "",
+    "backend": "",
+    "schedule_repaired": False,
+}
 
 
 def encode_float(value):

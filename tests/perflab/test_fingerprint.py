@@ -38,6 +38,35 @@ def test_digest_keys_only_the_environment():
     assert make_fp(governor="powersave").digest != a.digest
 
 
+def test_backend_field_splits_the_series():
+    a = make_fp()
+    # a non-empty backend is part of the environment key: compiled-tier
+    # and numpy-tier timings must never share a longitudinal series
+    assert make_fp(backend="compiled").digest != a.digest
+    assert make_fp(backend="compiled").digest != make_fp(backend="numpy").digest
+    # ...but the explicit default tier still differs from "unstated"
+    assert make_fp(backend="numpy").digest != a.digest
+    assert "backend compiled" in make_fp(backend="compiled").describe()
+
+
+def test_empty_backend_keeps_pre_backend_digests():
+    # histories and blessed baselines written before the backend field
+    # existed hash only the original key fields; an empty backend must
+    # reproduce that digest exactly so they stay comparable
+    fp = make_fp()
+    legacy = tuple(getattr(fp, f) for f in fp._KEY_FIELDS)
+    import hashlib
+
+    assert fp.digest == hashlib.sha256(repr(legacy).encode()).hexdigest()[:12]
+
+
+def test_collect_stamps_backend():
+    assert collect_fingerprint().backend == ""
+    fp = collect_fingerprint(backend="coarsen=compiled,lbp=compiled")
+    assert fp.backend == "coarsen=compiled,lbp=compiled"
+    assert EnvironmentFingerprint.from_dict(fp.as_dict()) == fp
+
+
 def test_roundtrip_preserves_digest():
     fp = make_fp(git_sha="deadbee", extra={"k": "v"})
     blob = fp.as_dict()

@@ -13,8 +13,10 @@ import pytest
 from repro.perflab.cli import perf_main
 from repro.perflab.history import HistoryStore
 
+# --no-repair-cell: these scenarios assert exact observation counts for
+# the inspector cells; the repair smoke cell has its own test below
 RUN = ["run", "--matrices", "mesh2d-s", "--warmup", "2",
-       "--min-reps", "6", "--max-reps", "12"]
+       "--min-reps", "6", "--max-reps", "12", "--no-repair-cell"]
 #: Shared-CI boxes drift 10-20% between back-to-back runs (frequency
 #: ramp, cache state), so the e2e assertions use a 35% noise floor and an
 #: injected stall far above it; the 0%/3%/10% calibration of the gate
@@ -47,6 +49,21 @@ def test_run_appends_and_writes_trajectory(workdir):
     doc = json.loads((workdir / "traj.json").read_text())
     assert doc["kind"] == "trajectory" and doc["schema"] == 2
     assert len(doc["series"]) == 1
+
+
+def test_run_appends_repair_smoke_cell(workdir, capsys):
+    argv = [a for a in RUN if a != "--no-repair-cell"]
+    assert run_cli(*argv, "--history", "h.jsonl", "--trajectory", "") == 0
+    store = HistoryStore("h.jsonl")
+    assert len(store) == 2
+    benchmarks = {key.benchmark for key, _ in store.series_keys()}
+    assert benchmarks == {"inspector", "repair"}
+    ((key, digest),) = [k for k in store.series_keys() if k[0].benchmark == "repair"]
+    obs = store.latest(key, digest)
+    assert "repair" in obs.stages and "full" in obs.stages
+    err = capsys.readouterr().err
+    assert "repair smoke cell: median repair" in err
+    assert "25% budget" in err
 
 
 def test_back_to_back_runs_gate_quiet(workdir, capsys):

@@ -18,9 +18,15 @@ from pathlib import Path
 TESTS_DIR = Path(__file__).parent
 
 #: (relative test file) -> reason a flaky marker is tolerated there.
-#: Empty today — the whole suite is deterministic (seeded RNGs, injected
-#: clocks, deterministic fault plans) and should stay that way.
-FLAKY_ALLOWLIST: dict = {}
+#: Keep this list short — the suite is deterministic (seeded RNGs,
+#: injected clocks, deterministic fault plans) and should stay that way.
+FLAKY_ALLOWLIST: dict = {
+    "core/test_incremental.py": (
+        "test_repair_beats_full_on_mesh asserts a wall-clock ratio "
+        "(repair < 0.8x full, ~0.22x in practice); a loaded CI machine "
+        "can still blow the generous margin"
+    ),
+}
 
 _MARKER_RE = re.compile(r"pytest\.mark\.flaky\b|@.*\bmark\.flaky\b")
 
