@@ -35,7 +35,7 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = [
     "STAGES",
@@ -45,6 +45,7 @@ __all__ = [
     "BackendSpec",
     "BackendWarning",
     "available_tiers",
+    "registered_tiers",
     "resolve_stage",
     "register_backend",
     "reset_fallback_warnings",
@@ -240,6 +241,19 @@ def available_tiers(stage: str) -> Tuple[str, ...]:
     return tuple(t for t in TIERS if _lookup(stage, t) is not None)
 
 
+def registered_tiers(stage: str) -> Tuple[str, ...]:
+    """Tiers with a *registered loader* for ``stage``, built or not.
+
+    Unlike :func:`available_tiers` this never imports or loads anything:
+    it answers "does the registry even know this (stage, tier) cell?",
+    which is what static pipeline verification needs — a pass declaring a
+    tier with no loader is a wiring bug regardless of what is built on
+    this machine.
+    """
+    stage = _canon_stage(stage)
+    return tuple(t for t in TIERS if (stage, t) in _LOADERS)
+
+
 def resolve_stage(spec: BackendSpec, stage: str) -> Tuple[Callable, str]:
     """Implementation for one stage under ``spec``: ``(callable, tier)``.
 
@@ -270,40 +284,40 @@ def resolve_stage(spec: BackendSpec, stage: str) -> Tuple[Callable, str]:
 # ----------------------------------------------------------------------
 # built-in loaders
 # ----------------------------------------------------------------------
-def _numpy_reduce():
+def _numpy_reduce() -> Callable:
     from ...graph.transitive_reduction import transitive_reduction_two_hop
 
     return transitive_reduction_two_hop
 
 
-def _reference_reduce():
+def _reference_reduce() -> Callable:
     from ...graph.transitive_reduction import transitive_reduction_reference
 
     return transitive_reduction_reference
 
 
-def _numpy_aggregate():
+def _numpy_aggregate() -> Callable:
     from ..aggregation import subtree_grouping
 
     return subtree_grouping
 
 
-def _reference_aggregate():
+def _reference_aggregate() -> Callable:
     from ..aggregation import subtree_grouping_reference
 
     return subtree_grouping_reference
 
 
-def _numpy_coarsen():
+def _numpy_coarsen() -> Callable:
     from ...graph.coarsen import coarsen_dag
 
-    def coarsen(g_base, grouping, cost):
+    def coarsen(g_base: Any, grouping: Any, cost: Any) -> Tuple[Any, Any]:
         return coarsen_dag(g_base, grouping), grouping.group_costs(cost)
 
     return coarsen
 
 
-def _compiled_coarsen():
+def _compiled_coarsen() -> Optional[Callable]:
     from .native import available
 
     if not available():
@@ -313,19 +327,19 @@ def _compiled_coarsen():
     return coarsen_compiled
 
 
-def _numpy_lbp():
+def _numpy_lbp() -> Callable:
     from ..lbp import lbp_coarsen
 
     return lbp_coarsen
 
 
-def _reference_lbp():
+def _reference_lbp() -> Callable:
     from ..lbp import lbp_coarsen_reference
 
     return lbp_coarsen_reference
 
 
-def _compiled_lbp():
+def _compiled_lbp() -> Optional[Callable]:
     from .native import available
 
     if not available():
@@ -335,19 +349,19 @@ def _compiled_lbp():
     return lbp_coarsen_compiled
 
 
-def _numpy_binpack():
+def _numpy_binpack() -> Callable:
     from ..binpack import first_fit_pack
 
     return first_fit_pack
 
 
-def _reference_binpack():
+def _reference_binpack() -> Callable:
     from ..binpack import first_fit_pack_reference
 
     return first_fit_pack_reference
 
 
-def _numpy_expand():
+def _numpy_expand() -> Callable:
     from ..hdagg import expand_lbp_to_schedule
 
     return expand_lbp_to_schedule

@@ -10,10 +10,11 @@ exception type raised for cyclic graphs — comes from the canonical path.
 from __future__ import annotations
 
 import ctypes
-from typing import List
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ...graph.coarsen import Grouping
 from ...graph.dag import DAG
 from ...graph.wavefronts import Wavefronts, compute_wavefronts
 from ...sparse.csr import INDEX_DTYPE
@@ -32,7 +33,7 @@ def lbp_coarsen_compiled(
     epsilon: float = DEFAULT_EPSILON,
     *,
     allow_fine_grained: bool = True,
-    pack=None,
+    pack: Optional[Callable] = None,
 ) -> LBPResult:
     """Compiled LBP walk; drop-in for :func:`repro.core.lbp.lbp_coarsen`.
 
@@ -130,7 +131,9 @@ def lbp_coarsen_compiled(
     )
 
 
-def coarsen_compiled(g_base: DAG, grouping, cost: np.ndarray):
+def coarsen_compiled(
+    g_base: DAG, grouping: Grouping, cost: np.ndarray
+) -> Tuple[DAG, np.ndarray]:
     """Compiled ``G''`` construction + group costs; drop-in for the numpy
     coarsen stage ``(coarsen_dag(g, grouping), grouping.group_costs(cost))``."""
     lib = load()

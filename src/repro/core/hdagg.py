@@ -16,37 +16,34 @@ Pipeline:
 3. Expansion back to original iteration ids, smallest-id-first inside each
    bin (the spatial-locality rule of Section IV-C).
 
-The keyword switches (``aggregate``, ``transitive_reduce``, ``bin_pack``)
-exist for the ablation studies; the defaults are the paper's algorithm.
+Since the pass-pipeline refactor the stages live in
+:mod:`repro.passes.hdagg` as a declarative pass group with per-stage
+contracts; this module keeps the public entry point, the expansion stage
+implementation (it is also a backend-registry stage), and the driver that
+seeds the :class:`~repro.passes.base.PassContext`.  The keyword switches
+(``aggregate``, ``transitive_reduce``, ``bin_pack``) exist for the
+ablation studies and select contract-weakened pass-group variants; the
+defaults are the paper's algorithm.
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from typing import List
 
 import numpy as np
 
-from ..graph.coarsen import Grouping, identity_grouping
+from ..graph.coarsen import Grouping
 from ..graph.dag import DAG, gather_slices
 from ..observability.state import STATE as _OBS_STATE
-from ..resilience.faults import fault_point
+from ..passes import PassContext, build_hdagg_group, run_group
 from ..runtime.perf import StageTimer
 from ..sparse.csr import INDEX_DTYPE
-from .backends import BackendSpec, resolve_stage
+from .backends import BackendSpec
 from .lbp import LBPResult
 from .pgp import DEFAULT_EPSILON
 from .schedule import Schedule, WidthPartition
 
 __all__ = ["hdagg", "expand_lbp_to_schedule"]
-
-#: shared no-op context manager for the disabled-observability path
-_NULL_CM = nullcontext()
-
-
-def _span(name: str, **attrs):
-    """An ``inspect/<stage>`` span when observability is on, else a no-op."""
-    return _OBS_STATE.tracer.span(name, **attrs) if _OBS_STATE.enabled else _NULL_CM
 
 
 def _expand_bin(grouping: Grouping, coarse_ids: np.ndarray) -> np.ndarray:
@@ -218,11 +215,13 @@ def _hdagg_pipeline(
 ) -> tuple[Schedule, dict]:
     """Algorithm 1 with its intermediate artifacts exposed.
 
-    Returns ``(schedule, internals)`` where ``internals`` carries every
-    stage product the incremental repair path needs (reduced DAG,
-    grouping, coarse DAG, group costs, LBP result, effective backend
-    description).  :func:`hdagg` is the thin public wrapper that drops
-    the internals.
+    Builds the context for the ``hdagg`` pass group (the ablation
+    switches pick the group variant), runs it through the generic
+    executor, and returns ``(schedule, internals)`` where ``internals``
+    carries every stage product the incremental repair path needs
+    (reduced DAG, grouping, coarse DAG, group costs, LBP result,
+    effective backend description).  :func:`hdagg` is the thin public
+    wrapper that drops the internals.
     """
     cost = np.asarray(cost, dtype=np.float64)
     if cost.shape[0] != g.n:
@@ -233,66 +232,42 @@ def _hdagg_pipeline(
             Schedule(n=0, levels=[], sync="barrier", algorithm="hdagg", n_cores=p),
             {"backend": spec.effective().describe()},
         )
-
-    reduce_fn, _rt = resolve_stage(spec, "reduce")
-    aggregate_fn, _at = resolve_stage(spec, "aggregate")
-    coarsen_fn, _ct = resolve_stage(spec, "coarsen")
-    lbp_fn, _lt = resolve_stage(spec, "lbp")
-    pack_fn, pack_tier = resolve_stage(spec, "binpack")
-    expand_fn, _et = resolve_stage(spec, "expand")
     backend_used = spec.effective().describe()
 
+    group = build_hdagg_group(
+        aggregate=aggregate, transitive_reduce=transitive_reduce, bin_pack=bin_pack
+    )
     timer = StageTimer()
-    # ---------------- Step 1 (Lines 1-20) ----------------
-    if aggregate:
-        with timer.stage("transitive_reduction"), _span(
-            "inspect/transitive_reduction", n=g.n, n_edges=g.n_edges
-        ):
-            fault_point("inspector.stage", label="transitive_reduction")
-            g_base = reduce_fn(g) if transitive_reduce else g
-        cap = (
-            group_cost_cap_fraction * float(cost.sum()) / p
-            if group_cost_cap_fraction is not None
-            else None
-        )
-        with timer.stage("aggregation"), _span("inspect/aggregation"):
-            fault_point("inspector.stage", label="aggregation")
-            grouping = aggregate_fn(g_base, cost, cap)
-    else:
-        g_base = g
-        grouping = identity_grouping(g.n)
-    with timer.stage("coarsen"), _span("inspect/coarsen"):
-        fault_point("inspector.stage", label="coarsen")
-        g2, group_cost = coarsen_fn(g_base, grouping, cost)
+    ctx = PassContext(
+        {
+            "DAG": g,
+            "Cost": cost,
+            "Cores": p,
+            "Epsilon": epsilon,
+            "Backend": backend_used,
+        },
+        timer=timer,
+        spec=spec,
+        options={
+            "group_cost_cap_fraction": group_cost_cap_fraction,
+            "bin_pack": bin_pack,
+            "sync": sync,
+        },
+    )
+    run_group(group, ctx)
+    schedule = ctx["Schedule"]
+    g_base, grouping = ctx["ReducedDAG"], ctx["Grouping"]
+    g2, group_cost = ctx["CoarseDAG"], ctx["GroupCost"]
+    lbp = ctx["CoarsenedWaves"]
 
-    # ---------------- Step 2 (Lines 21-38) ----------------
-    with timer.stage("lbp"), _span("inspect/lbp", n_coarse=g2.n, epsilon=epsilon):
-        fault_point("inspector.stage", label="lbp")
-        lbp = lbp_fn(
-            g2, group_cost, p, epsilon, allow_fine_grained=True,
-            pack=None if pack_tier == "numpy" else pack_fn,
-        )
-    if not bin_pack:
-        lbp.fine_grained = True
-
-    meta = {
-        "n_groups": grouping.n_groups,
-        "n_edges_original": g.n_edges,
-        "n_edges_reduced": g_base.n_edges,
-        "n_coarse_vertices": g2.n,
-        "n_coarse_wavefronts": len(lbp.coarsened),
-        "n_wavefronts": lbp.waves.n_levels,
-        "accumulated_pgp": lbp.accumulated_pgp,
-        "cut_positions": lbp.cut_positions,
-        "epsilon": epsilon,
-        "backend": backend_used,
-    }
-    with timer.stage("expand"), _span("inspect/expand"):
-        fault_point("inspector.stage", label="expand")
-        schedule = expand_fn(lbp, grouping, g.n, p, sync=sync, meta=meta)
     # per-stage seconds for NRE-style reporting; to_dict() drops non-JSON
     # meta values, so this never leaks into serialized schedules
     schedule.meta["stage_seconds"] = timer.as_dict()
+    cap = (
+        group_cost_cap_fraction * float(cost.sum()) / p
+        if aggregate and group_cost_cap_fraction is not None
+        else None
+    )
     internals = {
         "g": g,
         "g_base": g_base,
@@ -301,7 +276,7 @@ def _hdagg_pipeline(
         "group_cost": group_cost,
         "lbp": lbp,
         "backend": backend_used,
-        "cap": cap if aggregate else None,
+        "cap": cap,
     }
     if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
         # metrics are recorded post-hoc from the LBP decision log / packing

@@ -44,6 +44,7 @@ import numpy as np
 from ..graph.coarsen import Grouping, identity_grouping
 from ..graph.dag import DAG, gather_slices
 from ..graph.wavefronts import compute_wavefronts
+from ..passes import build_hdagg_group, plan_repair
 from ..sparse.csr import INDEX_DTYPE
 from .backends import BackendSpec, resolve_stage
 from .hdagg import _expand_cw, _grouping_csr, _hdagg_pipeline
@@ -328,6 +329,12 @@ def repair_schedule(
     reduction and subtree grouping — both depend globally on the pattern
     via the cost-cap, so recomputing them is what keeps the bit-identity
     proof local), then splices everything downstream around the dirty set.
+    The recompute/splice boundary is not hard-coded: it is read off the
+    hdagg pass group's declared ``repair`` policies via
+    :func:`repro.passes.plan_repair` (a pass whose contracts changed
+    policy would make the plan disagree with this implementation, which
+    falls back to a full inspection rather than splice wrongly), and the
+    plan is stamped into ``stats["plan"]``.
     """
     cost_new = np.asarray(cost_new, dtype=np.float64)
     if cost_new.shape[0] != g_new.n:
@@ -353,6 +360,25 @@ def repair_schedule(
     opts = old.options
     p, epsilon = old.p, old.epsilon
     spec = BackendSpec.coerce(old.backend)
+
+    # ---- repair plan from the pass-group contracts --------------------
+    # A pattern delta dirties the DAG and Cost inputs; the plan buckets
+    # the group's passes by their declared repair policy.  This splice
+    # implementation handles exactly {coarsen, lbp, expand} — anything
+    # else means the group's contracts moved out from under us.
+    group = build_hdagg_group(
+        aggregate=opts["aggregate"],
+        transitive_reduce=opts["transitive_reduce"],
+        bin_pack=opts["bin_pack"],
+    )
+    plan = plan_repair(group, ("DAG", "Cost"))
+    if plan.splice != ("coarsen", "lbp", "expand") or plan.replay:
+        return _full_repair(old, g_new, cost_new, f"unsupported repair plan {plan}")
+    plan_stats = {
+        "recompute": list(plan.recompute),
+        "splice": list(plan.splice),
+        "replay": list(plan.replay),
+    }
 
     # ---- exact recompute of the cheap global stages -------------------
     t0 = time.perf_counter()
@@ -653,6 +679,7 @@ def repair_schedule(
         "n_reused_cws": n_reused,
         "n_live_cws": len(coarsened_new) - n_reused,
         "seconds": seconds,
+        "plan": plan_stats,
     }
     return RepairResult(schedule=schedule, mode="repaired", artifacts=artifacts, stats=stats)
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..sparse.csr import INDEX_DTYPE
 from .dag import DAG
 
 __all__ = [

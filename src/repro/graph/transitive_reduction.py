@@ -23,7 +23,6 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..sparse.csr import INDEX_DTYPE
 from .dag import DAG
 
 __all__ = [

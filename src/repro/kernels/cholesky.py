@@ -24,7 +24,7 @@ import numpy as np
 
 from ..graph.build import dag_from_lower_triangular
 from ..graph.dag import DAG
-from ..sparse.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE, csr_from_coo
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
 from ..sparse.symbolic import symbolic_cholesky
 from ..sparse.triangular import lower_triangle
 from ._trace import trace_self_plus_lower_neighbors

@@ -33,8 +33,7 @@ from ..graph.build import dag_from_matrix_lower
 from ..graph.dag import DAG
 from ..sparse.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
 from .base import KernelError, SparseKernel
-from .cost import spilu0_cost
-from .memory import MemoryModel, factor_memory_model
+from .memory import MemoryModel
 
 __all__ = ["GaussSeidel", "gauss_seidel_sweep", "gauss_seidel_in_order"]
 

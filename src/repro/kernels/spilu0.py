@@ -24,7 +24,7 @@ import numpy as np
 
 from ..graph.build import dag_from_matrix_lower
 from ..graph.dag import DAG
-from ..sparse.csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.csr import CSRMatrix, INDEX_DTYPE
 from ._trace import trace_self_plus_lower_neighbors
 from .base import KernelError, SparseKernel
 from .cost import spilu0_cost

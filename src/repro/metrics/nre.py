@@ -20,8 +20,6 @@ from __future__ import annotations
 import math
 import warnings
 
-import numpy as np
-
 from ..core.schedule import Schedule
 from ..graph.dag import DAG
 from ..runtime.simulator import SimulationResult

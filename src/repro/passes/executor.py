@@ -1,0 +1,97 @@
+"""Generic pass-group executor.
+
+Runs a :class:`~repro.passes.base.PassGroup` over a
+:class:`~repro.passes.base.PassContext`, wrapping each pass with exactly
+the instrumentation the inline inspector used: a :class:`StageTimer`
+stage when ``timer_label`` is set, an ``inspect/<stage>`` span when the
+ambient observability state is enabled, and an ``inspector.stage``
+fault-injection point when ``fault_label`` is set.  The executor enforces
+the *runtime* half of each contract (required artifacts present, returned
+products exactly as declared); the *static* half — artifact dataflow over
+the whole list, invariant propagation, backend-tier coverage — is
+:func:`repro.statan.verify_pipeline`'s job and runs without executing
+anything.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, ContextManager, Dict
+
+from ..observability.state import STATE as _OBS_STATE
+from ..resilience.faults import fault_point
+from .base import Pass, PassContext, PassGroup
+
+__all__ = ["PipelineExecutionError", "run_group"]
+
+#: shared no-op context manager for the disabled-observability path
+_NULL_CM: ContextManager[None] = nullcontext()
+
+
+class PipelineExecutionError(RuntimeError):
+    """A pass violated its contract at runtime.
+
+    Static verification catches ill-formed *pipelines*; this error
+    catches a pass whose implementation drifted from its own declaration
+    (required artifact absent at run time, products not matching
+    ``produces``).
+    """
+
+    def __init__(self, group: str, pass_name: str, message: str) -> None:
+        super().__init__(f"group {group!r}, pass {pass_name!r}: {message}")
+        self.group = group
+        self.pass_name = pass_name
+
+
+def _span(p: Pass, ctx: PassContext) -> ContextManager[Any]:
+    """An ``inspect/<stage>`` span when observability is on, else a no-op."""
+    if p.span is None or not _OBS_STATE.enabled:
+        return _NULL_CM
+    attrs: Dict[str, Any] = p.span_attrs(ctx) if p.span_attrs is not None else {}
+    return _OBS_STATE.tracer.span(p.span, **attrs)
+
+
+def _timer(p: Pass, ctx: PassContext) -> ContextManager[Any]:
+    if p.timer_label is None or ctx.timer is None:
+        return _NULL_CM
+    return ctx.timer.stage(p.timer_label)
+
+
+def run_group(group: PassGroup, ctx: PassContext) -> PassContext:
+    """Execute every pass of ``group`` in order over ``ctx``.
+
+    Returns the same context with all products stored.  Raises
+    :class:`PipelineExecutionError` when a pass's runtime behaviour
+    contradicts its contract — which, for a pipeline accepted by
+    :func:`repro.statan.verify_pipeline`, indicates an implementation bug
+    rather than a wiring bug.
+    """
+    for p in group.passes:
+        missing = [a for a in p.contract.requires if not ctx.has(a)]
+        if missing:
+            raise PipelineExecutionError(
+                group.name,
+                p.name,
+                f"required artifacts missing at run time: {missing} "
+                f"(run repro.statan.verify_pipeline to catch this statically)",
+            )
+        with _timer(p, ctx), _span(p, ctx):
+            if p.fault_label is not None:
+                fault_point("inspector.stage", label=p.fault_label)
+            products = p.run(ctx)
+        declared = set(p.contract.produces)
+        got = set(products)
+        if got != declared:
+            raise PipelineExecutionError(
+                group.name,
+                p.name,
+                f"products {sorted(got)} do not match declared produces {sorted(declared)}",
+            )
+        for name, value in products.items():
+            ctx.put(name, value)
+    for out in group.outputs:
+        if not ctx.has(out):
+            raise PipelineExecutionError(
+                group.name, "<outputs>", f"group output {out!r} was never produced"
+            )
+    return ctx

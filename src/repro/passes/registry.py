@@ -1,0 +1,95 @@
+"""Registry of scheduler pass groups, and the driver that runs one.
+
+``PASS_GROUPS`` maps every scheduler name in
+:data:`repro.schedulers.SCHEDULERS` to its declarative pass group.  CI
+verifies each registered group with :func:`repro.statan.verify_pipeline`
+before any of them run, so an ill-formed recombination (a successor
+scheduler wired from existing passes, a compiled stage dropped in) is a
+structured diagnostic, not a runtime crash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from .base import PassContext, PassGroup
+from .baselines import (
+    build_coarsen_k_group,
+    build_dagp_group,
+    build_lbc_group,
+    build_mkl_group,
+    build_serial_group,
+    build_spmp_group,
+    build_wavefront_group,
+)
+from .executor import run_group
+from .hdagg import build_hdagg_group
+
+__all__ = ["PASS_GROUPS", "register_pass_group", "get_pass_group", "run_scheduler_group"]
+
+#: scheduler name -> declarative pass group
+PASS_GROUPS: Dict[str, PassGroup] = {}
+
+
+def register_pass_group(group: PassGroup, *, name: Optional[str] = None) -> PassGroup:
+    """Add (or replace) a group in the registry under ``name`` or its own."""
+    PASS_GROUPS[name or group.name] = group
+    return group
+
+
+def get_pass_group(name: str) -> PassGroup:
+    """Look up a registered group; raises ``KeyError`` with choices listed."""
+    try:
+        return PASS_GROUPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass group {name!r}; registered: {sorted(PASS_GROUPS)}"
+        ) from None
+
+
+def run_scheduler_group(
+    name: str,
+    g: Any,
+    cost: Any,
+    p: int,
+    *,
+    epsilon: Optional[float] = None,
+    backend: Any = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Build a context for one scheduler group and execute it.
+
+    This is the uniform driver the baseline scheduler functions delegate
+    to.  The HDagg driver (:func:`repro.core.hdagg._hdagg_pipeline`)
+    builds a richer context (stage timer, ablation switches), but the
+    ``"hdagg"`` group runs here too: when a group declares ``Backend``
+    among its inputs the driver coerces ``backend`` (spec, grammar
+    string, or ``None`` for the ambient default) and seeds the artifact.
+    ``epsilon`` may come as the keyword or as ``options["epsilon"]``.
+    """
+    group = get_pass_group(name)
+    artifacts: Dict[str, Any] = {"DAG": g, "Cost": cost, "Cores": p}
+    opts = dict(options or {})
+    if epsilon is None and "epsilon" in opts:
+        epsilon = opts.pop("epsilon")
+    if epsilon is not None:
+        artifacts["Epsilon"] = epsilon
+    spec: Any = None
+    if "Backend" in group.inputs:
+        from ..core.backends import BackendSpec
+
+        spec = BackendSpec.coerce(backend)
+        artifacts["Backend"] = spec.effective().describe()
+    ctx = PassContext(artifacts, spec=spec, options=opts)
+    run_group(group, ctx)
+    return ctx["Schedule"]
+
+
+register_pass_group(build_hdagg_group())
+register_pass_group(build_wavefront_group())
+register_pass_group(build_spmp_group())
+register_pass_group(build_mkl_group())
+register_pass_group(build_coarsen_k_group())
+register_pass_group(build_serial_group())
+register_pass_group(build_lbc_group())
+register_pass_group(build_dagp_group())

@@ -25,7 +25,6 @@ from __future__ import annotations
 import os
 import platform
 import subprocess
-import sys
 from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from typing import Dict, Optional

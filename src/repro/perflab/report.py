@@ -10,7 +10,7 @@ is one file that opens anywhere with no network access.
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .compare import ObservationComparison
 from .fingerprint import PERF_SCHEMA_VERSION

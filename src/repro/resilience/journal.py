@@ -31,7 +31,7 @@ import json
 import os
 from os import PathLike
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 __all__ = ["JournalError", "RunJournal", "JOURNAL_VERSION"]
 

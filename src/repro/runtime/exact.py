@@ -13,7 +13,7 @@ schedules by locality even where their absolute hit counts differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

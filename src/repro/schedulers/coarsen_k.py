@@ -19,11 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.binpack import first_fit_pack
-from ..core.schedule import Schedule, WidthPartition
-from ..graph.connected_components import components_as_lists
+from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..graph.wavefronts import compute_wavefronts
+from ..passes.registry import run_scheduler_group
 from .base import register_scheduler
 
 __all__ = ["coarsen_k_schedule", "DEFAULT_WINDOW"]
@@ -34,30 +32,12 @@ DEFAULT_WINDOW = 4
 
 @register_scheduler("coarsenk")
 def coarsen_k_schedule(g: DAG, cost: np.ndarray, p: int, k: int = DEFAULT_WINDOW) -> Schedule:
-    """Merge every ``k`` wavefronts; pack each window's components into ``p`` bins."""
+    """Merge every ``k`` wavefronts; pack each window's components into ``p`` bins.
+
+    Runs the ``"coarsenk"`` pass group (``wavefronts`` → ``window-merge``
+    → ``emit-windows`` — see :mod:`repro.passes.baselines`).
+    """
     if k < 1:
         raise ValueError("window k must be >= 1")
     cost = np.asarray(cost, dtype=np.float64)
-    waves = compute_wavefronts(g)
-    levels = []
-    for lo in range(0, waves.n_levels, k):
-        hi = min(lo + k, waves.n_levels)
-        verts = waves.vertices_in_range(lo, hi)
-        comps = components_as_lists(g, verts)
-        packing = first_fit_pack([float(cost[c].sum()) for c in comps], p)
-        parts = []
-        for core, items in enumerate(packing.items_per_bin(p)):
-            if items.size == 0:
-                continue
-            members = np.sort(np.concatenate([comps[int(t)] for t in items]))
-            parts.append(WidthPartition(core=core, vertices=members))
-        if parts:
-            levels.append(parts)
-    return Schedule(
-        n=g.n,
-        levels=levels,
-        sync="barrier",
-        algorithm="coarsenk",
-        n_cores=p,
-        meta={"window": k, "n_wavefronts": waves.n_levels},
-    )
+    return run_scheduler_group("coarsenk", g, cost, p, options={"k": k})

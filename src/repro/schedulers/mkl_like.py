@@ -17,28 +17,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.schedule import Schedule, WidthPartition
+from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..graph.wavefronts import compute_wavefronts
-from .base import chunk_by_count, register_scheduler
+from ..passes.registry import run_scheduler_group
+from .base import register_scheduler
 
 __all__ = ["mkl_like_schedule"]
 
 
 @register_scheduler("mkl")
 def mkl_like_schedule(g: DAG, cost: np.ndarray, p: int) -> Schedule:
-    """Level-set schedule with equal-count chunking and barrier sync."""
-    waves = compute_wavefronts(g)
-    levels = []
-    for k in range(waves.n_levels):
-        verts = waves.wavefront(k)
-        chunks = chunk_by_count(verts, p)
-        levels.append([WidthPartition(core=i, vertices=ch) for i, ch in enumerate(chunks)])
-    return Schedule(
-        n=g.n,
-        levels=levels,
-        sync="barrier",
-        algorithm="mkl",
-        n_cores=p,
-        meta={"n_wavefronts": waves.n_levels},
-    )
+    """Level-set schedule with equal-count chunking and barrier sync.
+
+    Runs the ``"mkl"`` pass group (shared ``wavefronts`` pass + a
+    count-chunking emit pass — see :mod:`repro.passes.baselines`).
+    """
+    return run_scheduler_group("mkl", g, cost, p)

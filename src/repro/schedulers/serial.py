@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.schedule import Schedule, WidthPartition
+from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..sparse.csr import INDEX_DTYPE
+from ..passes.registry import run_scheduler_group
 from .base import register_scheduler
 
 __all__ = ["serial_schedule"]
@@ -17,5 +17,4 @@ def serial_schedule(g: DAG, cost: np.ndarray, p: int = 1) -> Schedule:
     """All iterations in ascending id order on core 0, no synchronisation."""
     if g.n == 0:
         return Schedule(n=0, levels=[], sync="barrier", algorithm="serial", n_cores=1)
-    part = WidthPartition(core=0, vertices=np.arange(g.n, dtype=INDEX_DTYPE))
-    return Schedule(n=g.n, levels=[[part]], sync="barrier", algorithm="serial", n_cores=1)
+    return run_scheduler_group("serial", g, cost, p)

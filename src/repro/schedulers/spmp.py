@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.schedule import Schedule, WidthPartition
+from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..graph.wavefronts import compute_wavefronts
-from .base import chunk_by_cost, register_scheduler
+from ..passes.registry import run_scheduler_group
+from .base import register_scheduler
 
 __all__ = ["spmp_schedule", "lpt_assign"]
 
@@ -50,20 +50,10 @@ def lpt_assign(costs: np.ndarray, p: int) -> np.ndarray:
 
 @register_scheduler("spmp")
 def spmp_schedule(g: DAG, cost: np.ndarray, p: int) -> Schedule:
-    """Per-level contiguous cost-balanced groups, ``sync="p2p"``."""
+    """Per-level contiguous cost-balanced groups, ``sync="p2p"``.
+
+    Runs the ``"spmp"`` pass group (shared ``wavefronts`` pass + a
+    p2p-sync emit pass — see :mod:`repro.passes.baselines`).
+    """
     cost = np.asarray(cost, dtype=np.float64)
-    waves = compute_wavefronts(g)
-    levels = []
-    for k in range(waves.n_levels):
-        verts = waves.wavefront(k)
-        chunks = chunk_by_cost(verts, cost, p)
-        parts = [WidthPartition(core=i, vertices=ch) for i, ch in enumerate(chunks)]
-        levels.append(parts)
-    return Schedule(
-        n=g.n,
-        levels=levels,
-        sync="p2p",
-        algorithm="spmp",
-        n_cores=p,
-        meta={"n_wavefronts": waves.n_levels},
-    )
+    return run_scheduler_group("spmp", g, cost, p)

@@ -9,16 +9,20 @@ split into at most ``p`` contiguous cost-balanced chunks (the standard
 Weaknesses the paper calls out — a barrier per level (count grows with the
 critical path), no reuse of dependent iterations on one core — fall out of
 the structure and are measured by the metrics layer.
+
+The stages live in :mod:`repro.passes.baselines` (the shared
+``wavefronts`` pass plus a cost-chunking emit pass); this function is the
+registered entry point that runs the ``"wavefront"`` pass group.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.schedule import Schedule, WidthPartition
+from ..core.schedule import Schedule
 from ..graph.dag import DAG
-from ..graph.wavefronts import compute_wavefronts
-from .base import chunk_by_cost, register_scheduler
+from ..passes.registry import run_scheduler_group
+from .base import register_scheduler
 
 __all__ = ["wavefront_schedule"]
 
@@ -27,17 +31,4 @@ __all__ = ["wavefront_schedule"]
 def wavefront_schedule(g: DAG, cost: np.ndarray, p: int) -> Schedule:
     """One coarsened wavefront per level, cost-balanced chunks, barrier sync."""
     cost = np.asarray(cost, dtype=np.float64)
-    waves = compute_wavefronts(g)
-    levels = []
-    for k in range(waves.n_levels):
-        verts = waves.wavefront(k)
-        chunks = chunk_by_cost(verts, cost, p)
-        levels.append([WidthPartition(core=i, vertices=ch) for i, ch in enumerate(chunks)])
-    return Schedule(
-        n=g.n,
-        levels=levels,
-        sync="barrier",
-        algorithm="wavefront",
-        n_cores=p,
-        meta={"n_wavefronts": waves.n_levels},
-    )
+    return run_scheduler_group("wavefront", g, cost, p)

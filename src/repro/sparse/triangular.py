@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .csr import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from .csr import CSRMatrix, INDEX_DTYPE
 
 __all__ = [
     "lower_triangle",

@@ -1,0 +1,104 @@
+"""``hdagg-bench lint``: run the repo lint rules and the pipeline verifier.
+
+Examples::
+
+    hdagg-bench lint                          # lint src/repro, verify pipelines
+    hdagg-bench lint --strict                 # warnings fail too (CI gate)
+    hdagg-bench lint --rules L003,L007        # a rule subset
+    hdagg-bench lint --no-verify-pipelines    # AST rules only
+    hdagg-bench lint --format json            # machine-readable output
+    hdagg-bench lint --write-baseline         # accept current findings
+    hdagg-bench lint src/repro/passes         # restrict the scanned paths
+
+Exit status: 0 when nothing (above the severity gate) fired, 1 when
+findings remain, 2 on usage errors.  The baseline file (default
+``statan-baseline.json`` at the repo root, only consulted when present)
+grandfathers known findings by fingerprint; inline
+``statan: ignore[RULE]`` comments suppress single lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .diagnostics import Baseline, Diagnostic, render_json, render_text
+from .engine import run_lint
+from .verify import verify_registered_groups
+
+__all__ = ["lint_main", "build_lint_parser"]
+
+DEFAULT_BASELINE = "statan-baseline.json"
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="hdagg-bench lint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--root", default=".", help="repo root (default: cwd)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--format", dest="fmt", default="text", choices=["text", "json"])
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file (default: <root>/{DEFAULT_BASELINE} when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the accepted baseline and exit 0")
+    verify = p.add_mutually_exclusive_group()
+    verify.add_argument("--verify-pipelines", dest="verify", action="store_true",
+                        default=True, help="also verify every registered pass group (default)")
+    verify.add_argument("--no-verify-pipelines", dest="verify", action="store_false")
+    return p
+
+
+def _collect(args: argparse.Namespace, root: Path) -> List[Diagnostic]:
+    rule_ids: Optional[List[str]] = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    diags = run_lint(root, rule_ids=rule_ids, paths=args.paths or None)
+    if args.verify and rule_ids is None:
+        for _name, group_diags in verify_registered_groups().items():
+            diags.extend(group_diags)
+    return diags
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_lint_parser().parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"# not a directory: {root}", file=sys.stderr)
+        return 2
+    try:
+        diags = _collect(args, root)
+    except ValueError as exc:  # unknown rule ids
+        print(f"# {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.write_baseline:
+        baseline = Baseline()
+        baseline.record(diags)
+        baseline.save(baseline_path)
+        print(f"# wrote {len(baseline.fingerprints)} fingerprint(s) to {baseline_path}")
+        return 0
+    if baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        diags, grandfathered = baseline.filter(diags)
+        if grandfathered:
+            print(f"# {len(grandfathered)} baselined finding(s) suppressed", file=sys.stderr)
+
+    if args.fmt == "json":
+        print(render_json(diags))
+    elif diags:
+        print(render_text(diags))
+    else:
+        print("statan: clean")
+    gate = diags if args.strict else [d for d in diags if d.severity == "error"]
+    return 1 if gate else 0

@@ -127,6 +127,10 @@ def main(argv=None) -> int:
         from ..perflab.cli import perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from ..statan.cli import lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for s in SUITE:

@@ -1,0 +1,117 @@
+"""Registry-drift gates: the cross-registry invariants the lint rules and
+the verifier rely on, checked directly so drift fails loudly in CI.
+
+Three registries must stay mutually consistent as the repo grows:
+
+* the backend registry — every stage keeps its reference and numpy tiers
+  (the differential-oracle discipline), and every pass's declared tiers
+  exist;
+* the fault-site registry — every site is exercised somewhere in the
+  resilience suite, with only supported actions;
+* the scheduler registry — every scheduler has a verified pass group.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.backends import STAGES, TIERS, registered_tiers
+from repro.passes import PASS_GROUPS
+from repro.resilience.faults import FAULT_SITES, FaultPlan
+from repro.schedulers import SCHEDULERS
+
+RESILIENCE_TESTS = Path(__file__).resolve().parents[1] / "resilience"
+
+
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("stage", STAGES)
+def test_every_stage_registers_reference_and_numpy(stage):
+    tiers = registered_tiers(stage)
+    assert "reference" in tiers, f"stage {stage!r} lost its loop oracle"
+    assert "numpy" in tiers, f"stage {stage!r} lost its default fast path"
+    assert set(tiers) <= set(TIERS)
+
+
+def test_registered_tiers_rejects_unknown_stage():
+    with pytest.raises(ValueError, match="unknown inspector stage"):
+        registered_tiers("quantize")
+
+
+def test_pass_declared_tiers_exist_in_the_registry():
+    for name, group in PASS_GROUPS.items():
+        for p in group.passes:
+            if p.stage is None:
+                assert not p.tiers, (name, p.name)
+                continue
+            tiers = registered_tiers(p.stage)
+            for tier in p.tiers:
+                assert tier in tiers, (name, p.name, tier)
+
+
+# ----------------------------------------------------------------------
+# fault-site registry
+# ----------------------------------------------------------------------
+def test_fault_sites_declare_known_actions():
+    known = {"raise", "stall", "corrupt", "exit"}
+    for site, actions in FAULT_SITES.items():
+        assert actions, f"site {site!r} supports no actions"
+        assert set(actions) <= known, (site, actions)
+
+
+def test_chaos_default_sites_are_registered():
+    plan = FaultPlan.chaos(0)
+    for spec in plan.specs:
+        assert spec.site in FAULT_SITES
+        assert spec.action in FAULT_SITES[spec.site]
+
+
+@pytest.mark.parametrize("site", sorted(FAULT_SITES))
+def test_every_fault_site_is_exercised_by_the_resilience_suite(site):
+    """A registered site nobody injects is dead armor: adding a site to
+    FAULT_SITES requires a chaos/fault test naming it (as a literal, the
+    same discipline lint rule L001 enforces at the call sites)."""
+    sources = "\n".join(
+        p.read_text() for p in sorted(RESILIENCE_TESTS.glob("test_*.py"))
+    )
+    assert f'"{site}"' in sources or f"'{site}'" in sources, (
+        f"fault site {site!r} is registered but never exercised under tests/resilience"
+    )
+
+
+def test_fault_point_call_sites_use_registered_sites():
+    """The runtime half of L001, against the live tree."""
+    import ast
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    seen = set()
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "fault_point"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+            ):
+                seen.add(node.args[0].value)
+    assert seen <= set(FAULT_SITES), seen - set(FAULT_SITES)
+    # the executor's per-stage hook is wired (the pass refactor kept it)
+    assert "inspector.stage" in seen
+
+
+# ----------------------------------------------------------------------
+# scheduler registry
+# ----------------------------------------------------------------------
+def test_scheduler_and_pass_group_registries_agree():
+    assert set(SCHEDULERS) == set(PASS_GROUPS)
+
+
+def test_every_registered_group_passes_static_verification():
+    from repro.statan import verify_registered_groups
+
+    for name, diags in verify_registered_groups().items():
+        errors = [d for d in diags if d.severity == "error"]
+        assert errors == [], (name, [d.render() for d in errors])

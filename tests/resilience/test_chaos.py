@@ -115,6 +115,58 @@ def test_corrupt_prepare_is_sanitized_or_isolated():
             assert f.error_type == "CSRSanitizeError"
 
 
+def test_inspector_stage_stall_is_attributed_and_bit_identical():
+    """A stall injected into one named pass lands in that stage's timer
+    window and cannot change the schedule bytes."""
+    from repro.core.hdagg import hdagg
+
+    # 8 independent 5-vertex chains: enough width for a coarse schedule
+    srcs = [c * 5 + i for c in range(8) for i in range(4)]
+    dsts = [c * 5 + i + 1 for c in range(8) for i in range(4)]
+    g = DAG.from_edges(40, srcs, dsts)
+    cost = np.ones(40)
+    clean = hdagg(g, cost, 4)
+    plan = FaultPlan(
+        [FaultSpec("inspector.stage", "stall", times=-1, match="lbp", duration=0.05)]
+    )
+    with armed(plan):
+        stalled = hdagg(g, cost, 4)
+    assert [(e.site, e.action, e.label) for e in plan.fired] == [
+        ("inspector.stage", "stall", "lbp")
+    ]
+    # the stall is charged to the lbp stage, not smeared over the pipeline
+    assert stalled.meta["stage_seconds"]["lbp"] >= 0.05
+    # timing noise never reaches the schedule itself
+    assert stalled.execution_order().tolist() == clean.execution_order().tolist()
+    assert [
+        [(wp.core, wp.vertices.tolist()) for wp in level] for level in stalled.levels
+    ] == [
+        [(wp.core, wp.vertices.tolist()) for wp in level] for level in clean.levels
+    ]
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+def test_inspector_stage_chaos_sweep_fires_only_known_labels(seed):
+    """Chaos plans drawn over the per-stage site stay inside the labels the
+    executor actually emits, for every seed."""
+    from repro.core.hdagg import hdagg
+    from repro.passes import get_pass_group
+
+    known_labels = {
+        p.fault_label for p in get_pass_group("hdagg").passes if p.fault_label
+    }
+    plan = FaultPlan.chaos(seed, sites=("inspector.stage",))
+    g = DAG.from_edges(6, [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+    with armed(plan):
+        for _ in range(3):
+            hdagg(g, np.ones(6), 2)
+    assert plan.fired, "no occurrence matched any planned fault"
+    for event in plan.fired:
+        assert event.site == "inspector.stage"
+        assert event.action == "stall"
+        assert event.label in known_labels
+
+
 def test_executor_stall_trips_deadlock_detector():
     """An injected core stall must surface as the detector's stuck triple."""
     g = DAG.from_edges(2, [0], [1])
