@@ -1,0 +1,86 @@
+"""Traffic-replay smoke benchmark for the serving front door.
+
+Replays a seeded Zipf/Poisson request stream (200 requests over 4
+structures, exponent 1.2) through the real FrontDoor → ScheduleBroker →
+ScheduleStore stack, prints the serving-quality numbers the roadmap
+tracks — p50/p99 latency and cache hit rate — and appends them to a
+perf-lab history (merging the ``service_replay`` series into a trajectory
+snapshot when one is given).
+
+Two hard sanity gates, both far from the measured values so only genuine
+regressions trip them:
+
+* every request must be served (the closed-loop replay is sized under the
+  admission bounds — a shed here means admission control broke);
+* the hit rate must stay above 0.8 (Zipf head + single-flight mean at
+  most one inspection per structure: measured ≈ 0.98).
+
+Latency is reported, not gated — CI runners are too noisy for an absolute
+wall-clock bound; the warn-only perf-lab gate tracks it longitudinally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py [history] [trajectory]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.service.replay import ReplayConfig, record_replay, run_replay
+
+MIN_HIT_RATE = 0.8
+
+
+def main(history: str | None = None, trajectory: str | None = None) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ReplayConfig(
+            n_requests=200,
+            n_structures=4,
+            zipf_s=1.2,
+            seed=0,
+            kernel="sptrsv",
+            algorithm="hdagg",
+            p=8,
+            concurrency=8,
+            max_pending=256,
+            max_inflight=8,
+            store_root=f"{tmp}/store",
+        )
+        report = run_replay(config)
+    print(
+        f"service replay: {report.n_ok}/{config.n_requests} served, "
+        f"{report.n_rejected} shed, {report.n_degraded} degraded, "
+        f"{report.wall_seconds:.2f}s wall"
+    )
+    print(f"  p50      {report.p50 * 1e3:8.3f} ms")
+    print(f"  p99      {report.p99 * 1e3:8.3f} ms")
+    print(f"  hit_rate {report.hit_rate:8.3f}")
+    for source, count in sorted(report.sources.items()):
+        print(f"  {source:10s} {count}")
+    if history:
+        obs = record_replay(report, history, trajectory)
+        print(f"recorded {obs.key.label()} -> {history}"
+              + (f" (+ trajectory {trajectory})" if trajectory else ""))
+    failures = []
+    if report.n_rejected or report.n_ok != config.n_requests:
+        failures.append(
+            f"{report.n_rejected} requests shed in a replay sized under the admission bounds"
+        )
+    if report.hit_rate < MIN_HIT_RATE:
+        failures.append(f"hit rate {report.hit_rate:.3f} < {MIN_HIT_RATE} floor")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"OK: all served, hit rate >= {MIN_HIT_RATE}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        main(
+            sys.argv[1] if len(sys.argv) > 1 else None,
+            sys.argv[2] if len(sys.argv) > 2 else None,
+        )
+    )

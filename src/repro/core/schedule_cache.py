@@ -98,12 +98,21 @@ class ScheduleCache:
     ``max_entries=None`` means unbounded (the harness's per-suite default:
     a suite holds a few hundred schedules at most).  Stored schedules are
     returned as-is — they are treated as immutable by every consumer.
+
+    ``store`` optionally backs the cache with a persistent L2 — any
+    object with ``get(key) -> Schedule | None`` and ``put(key, schedule)``
+    (duck-typed so this module never imports :mod:`repro.store`; in
+    practice a :class:`repro.store.ScheduleStore`).  Misses fall through
+    to the store (promoting hits into the LRU), and :meth:`put` writes
+    through best-effort — a store write failure never fails the caller,
+    because the in-memory entry is already good.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None, *, store=None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
         self.max_entries = max_entries
+        self.store = store
         self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -118,6 +127,20 @@ class ScheduleCache:
         """
         entry = self._entries.get(key)
         if entry is None:
+            if self.store is not None:
+                promoted = self.store.get(key)
+                if promoted is not None:
+                    # L2 hit: promote into the LRU (bypassing the write-
+                    # through — the store already holds it) and serve
+                    self._entries[key] = promoted
+                    self._entries.move_to_end(key)
+                    if self.max_entries is not None:
+                        while len(self._entries) > self.max_entries:
+                            self._entries.popitem(last=False)
+                    self._hits += 1
+                    if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                        _OBS_STATE.registry.counter("schedule_cache.store_hits").inc()
+                    return promoted
             self._misses += 1
             if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
                 _OBS_STATE.registry.counter("schedule_cache.misses").inc()
@@ -136,12 +159,24 @@ class ScheduleCache:
         return self._entries.pop(key, None) is not None
 
     def put(self, key: str, schedule: Schedule) -> None:
-        """Insert (or refresh) an entry, evicting the LRU one if over capacity."""
+        """Insert (or refresh) an entry, evicting the LRU one if over capacity.
+
+        With a ``store`` attached the entry is also written through —
+        best-effort, because the in-memory copy already serves this
+        process and a persistence hiccup must not fail the inspection
+        that produced the schedule.
+        """
         self._entries[key] = schedule
         self._entries.move_to_end(key)
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+        if self.store is not None:
+            try:
+                self.store.put(key, schedule)
+            except Exception:
+                if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                    _OBS_STATE.registry.counter("schedule_cache.store_write_errors").inc()
 
     def get_or_build(self, key: str, builder: Callable[[], Schedule]) -> Schedule:
         """Return the cached schedule or build-and-store it."""

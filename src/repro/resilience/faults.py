@@ -56,6 +56,8 @@ __all__ = [
     "set_fault_observer",
     "corrupt_csr_arrays",
     "corrupt_schedule",
+    "truncate_blob",
+    "bit_flip_blob",
 ]
 
 #: Every instrumented site and the actions it supports.  Keeping the
@@ -79,6 +81,19 @@ FAULT_SITES: Dict[str, Tuple[str, ...]] = {
     "pool.worker": ("exit", "raise"),
     # run_matrix entry (suite-level isolation tests)
     "suite.matrix": ("raise",),
+    # persistent schedule store: between the temp-file write and the
+    # rename (payload: the encoded record bytes).  ``corrupt`` truncates
+    # the bytes that reach disk (a torn write that became visible);
+    # ``raise`` simulates a kill before the rename (temp litter only)
+    "store.torn_write": ("raise", "corrupt"),
+    # persistent schedule store: silent media corruption of the record
+    # bytes before they are written (payload: the encoded record bytes)
+    "store.bit_flip": ("corrupt",),
+    # persistent schedule store: kill between the record rename and the
+    # manifest update (the record exists on disk, the index missed it)
+    "store.stale_manifest": ("raise",),
+    # serving front door: inspection worker death mid-request
+    "service.worker_crash": ("raise",),
 }
 
 #: Malformed-CSR classes :func:`corrupt_csr_arrays` can produce.
@@ -257,6 +272,10 @@ class FaultPlan:
             return corrupt_csr_arrays(payload, mode, self.rng)
         if site == "schedule_cache.get":
             return corrupt_schedule(payload, self.rng)
+        if site == "store.torn_write":
+            return truncate_blob(payload, self.rng)
+        if site == "store.bit_flip":
+            return bit_flip_blob(payload, self.rng)
         return None
 
     def describe(self) -> str:
@@ -314,6 +333,28 @@ def corrupt_csr_arrays(a, mode: str, rng: random.Random):
             data = np.delete(data, k)
             indptr[row + 1 :] -= 1
     return (n_rows, n_cols, indptr, indices, data)
+
+
+def truncate_blob(data: bytes, rng: random.Random) -> bytes:
+    """A torn-write variant of ``data``: a strict prefix cut at a random point.
+
+    Models a crash mid-``write(2)``: some prefix of the record reached the
+    platter and the rest never did.  The cut point is drawn by the plan's
+    RNG so two chaos runs tear the same records at the same byte.
+    """
+    if not data:
+        return data
+    return bytes(data[: rng.randrange(0, len(data))])
+
+
+def bit_flip_blob(data: bytes, rng: random.Random) -> bytes:
+    """``data`` with one bit flipped at a seeded position (media corruption)."""
+    if not data:
+        return data
+    out = bytearray(data)
+    pos = rng.randrange(len(out))
+    out[pos] ^= 1 << rng.randrange(8)
+    return bytes(out)
 
 
 def corrupt_schedule(schedule, rng: random.Random):

@@ -16,8 +16,10 @@ writes as each matrix completes:
 
 Each line is flushed and fsync'd before the next matrix starts, so a
 ``kill -9`` mid-grid loses at most the in-flight matrix.  On resume, a
-trailing half-written line (the signature of that kill) is ignored;
-corruption anywhere else is an error.  Because records are replayed from
+trailing half-written line (the signature of that kill) is truncated away
+with a warning — merely skipping it would leave the partial bytes in
+place for the append handle to splice the next row onto; corruption
+anywhere else is an error.  Because records are replayed from
 the journal verbatim, a resumed run's record list is bit-identical to an
 uninterrupted run's.
 
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from os import PathLike
 from pathlib import Path
 from typing import Dict, List, Union
@@ -86,20 +89,24 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
         rows: List[dict] = []
+        good_end = 0  # byte offset just past the last intact, newline-terminated row
         for i, line in enumerate(lines):
             if not line.strip():
+                if i < len(lines) - 1:
+                    good_end += len(line) + 1
                 continue
             try:
-                rows.append(json.loads(line))
-            except json.JSONDecodeError as exc:
+                rows.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 if i == len(lines) - 1:
                     # trailing half-written line: the run was killed
                     # mid-append; everything before it is intact
                     break
                 raise JournalError(f"{self.path}: corrupt journal line {i + 1}") from exc
+            good_end += len(line) + 1
         if not rows:
             raise JournalError(f"{self.path}: journal has no readable rows")
         header = rows[0]
@@ -123,6 +130,21 @@ class RunJournal:
                 self.failures.append(row["failure"])
             else:
                 raise JournalError(f"{self.path}: unknown journal row kind {kind!r}")
+        good_end = min(good_end, len(raw))
+        if good_end < len(raw):
+            # Truncate the torn tail *before* the append handle opens:
+            # leaving it in place would splice the next checkpoint row onto
+            # the partial line, corrupting a row that was perfectly healthy.
+            warnings.warn(
+                f"{self.path}: dropping torn trailing journal line "
+                f"({len(raw) - good_end} bytes) left by a killed run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
 
     def _write_row(self, row: dict) -> None:
         self._fh.write(json.dumps(row, sort_keys=True) + "\n")

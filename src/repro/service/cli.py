@@ -1,0 +1,145 @@
+"""``hdagg-bench service``: drive the serving stack from the command line.
+
+Subcommands::
+
+    service replay   run the Zipf/Poisson traffic replay through the real
+                     front door; optionally append the p50/p99/hit-rate
+                     observation to a perf-lab history and merge it into
+                     the trajectory snapshot
+    service audit    sweep a persistent schedule store, validating every
+                     record (bad ones are quarantined, stale manifests
+                     repaired) — run after a crash or before blessing a
+                     store for serving
+
+Examples::
+
+    hdagg-bench service replay --requests 500 --structures 6 --store /tmp/sched-store
+    hdagg-bench service replay --history svc.jsonl --trajectory BENCH_trajectory.json
+    hdagg-bench service audit /tmp/sched-store --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["service_main", "build_service_parser"]
+
+
+def build_service_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="hdagg-bench service", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("replay", help="Zipf/Poisson traffic replay benchmark")
+    rep.add_argument("--requests", type=int, default=300)
+    rep.add_argument("--structures", type=int, default=4)
+    rep.add_argument("--zipf", type=float, default=1.2, help="Zipf exponent s")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--kernel", default="sptrsv")
+    rep.add_argument("--algorithm", default="hdagg")
+    rep.add_argument("--p", type=int, default=8, help="cores the schedules target")
+    rep.add_argument("--concurrency", type=int, default=8, help="front-door workers")
+    rep.add_argument("--max-pending", type=int, default=64, help="admission bound")
+    rep.add_argument("--max-inflight", type=int, default=8,
+                     help="concurrent fresh inspections before shedding")
+    rep.add_argument("--deadline", type=float, default=None,
+                     help="per-request deadline in seconds (degrades, then sheds)")
+    rep.add_argument("--rate", type=float, default=0.0,
+                     help="Poisson arrival rate in req/s (0 = no pacing)")
+    rep.add_argument("--store", default=None, metavar="DIR",
+                     help="persistent schedule store directory (default: L1 only)")
+    rep.add_argument("--history", default=None,
+                     help="perf-lab JSONL history to append the observation to")
+    rep.add_argument("--trajectory", default=None,
+                     help="trajectory snapshot to merge the series into "
+                          "(requires --history)")
+    rep.add_argument("--json", dest="json_out", default=None,
+                     help="write the full report as JSON")
+
+    aud = sub.add_parser("audit", help="validate every record of a schedule store")
+    aud.add_argument("store", help="store directory")
+    aud.add_argument("--strict", action="store_true",
+                     help="exit 1 when any record was quarantined")
+    aud.add_argument("--json", dest="json_out", default=None,
+                     help="write the audit report as JSON")
+    return p
+
+
+def _cmd_replay(args) -> int:
+    from .replay import ReplayConfig, record_replay, run_replay
+
+    config = ReplayConfig(
+        n_requests=args.requests,
+        n_structures=args.structures,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        kernel=args.kernel,
+        algorithm=args.algorithm,
+        p=args.p,
+        concurrency=args.concurrency,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        deadline=args.deadline,
+        arrival_rate=args.rate,
+        store_root=args.store,
+    )
+    report = run_replay(config)
+    print(f"# replay: {report.n_ok}/{config.n_requests} served, "
+          f"{report.n_rejected} shed, {report.n_degraded} degraded", file=sys.stderr)
+    print(f"p50_ms   {report.p50 * 1e3:10.3f}")
+    print(f"p99_ms   {report.p99 * 1e3:10.3f}")
+    print(f"hit_rate {report.hit_rate:10.3f}")
+    for source, count in sorted(report.sources.items()):
+        print(f"  {source:10s} {count}")
+    if args.history:
+        obs = record_replay(report, args.history, args.trajectory)
+        print(f"# observation appended to {args.history} "
+              f"({obs.key.label()})", file=sys.stderr)
+        if args.trajectory:
+            print(f"# trajectory merged: {args.trajectory}", file=sys.stderr)
+    elif args.trajectory:
+        print("# --trajectory requires --history", file=sys.stderr)
+        return 2
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from ..store.store import ScheduleStore, StoreError
+
+    try:
+        store = ScheduleStore(args.store)
+    except StoreError as exc:
+        print(f"# {exc}", file=sys.stderr)
+        return 2
+    report = store.audit()
+    print(f"scanned     {report.scanned}")
+    print(f"ok          {report.ok}")
+    print(f"quarantined {len(report.quarantined)}")
+    print(f"manifests_repaired {report.repaired_manifests}")
+    for q in report.quarantined:
+        print(f"  {q.key[:16]}… shard {q.shard}: {q.reason}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 1 if (args.strict and report.quarantined) else 0
+
+
+def service_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``hdagg-bench service``."""
+    args = build_service_parser().parse_args(argv)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_audit(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(service_main())

@@ -1,0 +1,119 @@
+"""Asyncio front door over the synchronous broker.
+
+The broker's core is deliberately synchronous — inspectors are CPU-bound
+numpy code, and single-flight rendezvous with plain threading primitives
+is easy to reason about.  The front door adapts it to an async serving
+loop: requests are dispatched onto a bounded thread pool via
+``run_in_executor``, and *admission happens before dispatch* — when
+``max_pending`` requests are already queued or running, new arrivals are
+shed immediately with the structured :class:`AdmissionRejected` payload
+instead of growing an unbounded queue (the classic overload failure:
+every request eventually times out instead of most succeeding).
+
+Two bounds compose, intentionally::
+
+    FrontDoor(max_pending=...)     # total requests admitted concurrently
+    ScheduleBroker(max_inflight=…) # concurrent *fresh inspections*
+
+A burst of requests for cached structures sails through both; a burst of
+novel structures is first capped by the pool, then by the broker's
+inspection bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Sequence, Union
+
+from .broker import AdmissionRejected, ScheduleBroker, ServeRequest, ServeResult
+
+__all__ = ["FrontDoor"]
+
+
+class FrontDoor:
+    """Bounded async request gateway for a :class:`ScheduleBroker`.
+
+    Parameters
+    ----------
+    broker:
+        The synchronous core doing the actual serving.
+    max_workers:
+        Thread-pool width — how many broker calls run concurrently.
+    max_pending:
+        Admission bound: queued + running requests.  Arrivals beyond it
+        raise :class:`AdmissionRejected` without queueing.
+    """
+
+    def __init__(
+        self,
+        broker: ScheduleBroker,
+        *,
+        max_workers: int = 4,
+        max_pending: int = 32,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.broker = broker
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="frontdoor"
+        )
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted (queued or running)."""
+        with self._pending_lock:
+            return self._pending
+
+    async def submit(self, req: ServeRequest) -> ServeResult:
+        """Serve one request, shedding immediately when over capacity."""
+        if self._closed:
+            raise RuntimeError("front door is closed")
+        with self._pending_lock:
+            if self._pending >= self.max_pending:
+                raise AdmissionRejected(
+                    f"{self._pending} requests pending (capacity {self.max_pending})",
+                    pending=self._pending, capacity=self.max_pending,
+                )
+            self._pending += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._pool, self.broker.request, req)
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    async def submit_many(
+        self, requests: Sequence[ServeRequest]
+    ) -> List[Union[ServeResult, BaseException]]:
+        """Serve a batch concurrently; rejections come back as exceptions.
+
+        The per-element type is ``ServeResult`` or the exception that
+        request raised (``return_exceptions`` semantics) — callers bucket
+        sheds/deadline misses without one failure poisoning the batch.
+        """
+        return await asyncio.gather(
+            *(self.submit(r) for r in requests), return_exceptions=True
+        )
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop admitting and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    async def __aenter__(self) -> "FrontDoor":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,314 @@
+"""Zipf/Poisson traffic replay: the serving layer's load benchmark.
+
+Production schedule traffic is skewed — a handful of factorisation
+patterns (the head of a Zipf distribution) dominate requests, with a long
+tail of novel structures forcing fresh inspections.  The replay models
+exactly that: ``n_requests`` arrivals over a catalog of ``n_structures``
+seeded matrices, structure popularity ``∝ 1/rank^s``, inter-arrival gaps
+drawn from an exponential distribution (a Poisson process) and enforced
+with ``asyncio.sleep``, all driven through the real
+:class:`~repro.service.frontdoor.FrontDoor` → broker → store stack.
+
+The report carries the serving-quality numbers the roadmap names as
+first-class series: **p50/p99 latency** over successful requests and the
+**cache hit rate** (requests served without a fresh inspection).
+:func:`record_replay` turns a report into a perf-lab
+:class:`~repro.perflab.protocol.Observation` (benchmark
+``service_replay``; p50/p99/hit-rate ride in the stage channel so the
+trajectory's ``stage_medians`` surfaces them) and merges it into the
+repo's ``BENCH_trajectory.json`` without disturbing the inspector series.
+
+Everything is seeded — two replays with the same config produce the same
+request sequence, which is what lets the CI smoke gate on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..kernels import KERNELS
+from ..perflab.fingerprint import collect_fingerprint
+from ..perflab.history import HistoryStore, load_trajectory, write_trajectory
+from ..perflab.protocol import Observation, ObservationKey
+from ..sparse import banded_spd, lower_triangle, poisson2d, power_law_spd, random_spd
+from ..store.store import ScheduleStore
+from .broker import ScheduleBroker, ServeRequest, ServiceRejected
+from .frontdoor import FrontDoor
+
+__all__ = [
+    "ReplayConfig",
+    "ReplayReport",
+    "build_catalog",
+    "zipf_weights",
+    "run_replay",
+    "replay_observation",
+    "record_replay",
+]
+
+
+@dataclass
+class ReplayConfig:
+    """One replay experiment, fully seeded."""
+
+    n_requests: int = 300
+    n_structures: int = 4
+    zipf_s: float = 1.2
+    seed: int = 0
+    kernel: str = "sptrsv"
+    algorithm: str = "hdagg"
+    p: int = 8
+    concurrency: int = 8
+    max_pending: int = 64
+    max_inflight: int = 8
+    deadline: Optional[float] = None
+    #: mean arrival rate in requests/second for the Poisson process;
+    #: 0 disables pacing (a closed-loop stampede — useful for shed tests)
+    arrival_rate: float = 0.0
+    #: directory for the persistent store; ``None`` serves from L1 only
+    store_root: Optional[str] = None
+
+    def label(self) -> str:
+        return f"zipf{self.n_structures}_s{self.zipf_s:g}"
+
+
+@dataclass
+class ReplayReport:
+    """What one replay run measured."""
+
+    config: ReplayConfig
+    latencies: List[float] = field(default_factory=list)
+    sources: Dict[str, int] = field(default_factory=dict)
+    n_rejected: int = 0
+    n_degraded: int = 0
+    hit_rate: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def n_ok(self) -> int:
+        return len(self.latencies)
+
+    def quantile(self, q: float) -> float:
+        """Latency quantile over successful requests (0 when none)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.quantile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requests": self.config.n_requests,
+            "n_structures": self.config.n_structures,
+            "zipf_s": self.config.zipf_s,
+            "seed": self.config.seed,
+            "kernel": self.config.kernel,
+            "algorithm": self.config.algorithm,
+            "n_ok": self.n_ok,
+            "n_rejected": self.n_rejected,
+            "n_degraded": self.n_degraded,
+            "sources": dict(self.sources),
+            "hit_rate": self.hit_rate,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+#: seeded structure builders, cycled (with shifted seeds) past four
+_BUILDERS = (
+    lambda s: poisson2d(12 + 2 * (s % 3), seed=s),
+    lambda s: banded_spd(160, 6, seed=3 + s),
+    lambda s: random_spd(150, 4.0, seed=7 + s),
+    lambda s: power_law_spd(150, 5.0, seed=11 + s),
+)
+
+
+def build_catalog(
+    n_structures: int, kernel: str, *, seed: int = 0
+) -> List[Tuple[str, DAG, np.ndarray]]:
+    """``n_structures`` named (DAG, cost) inspection problems for ``kernel``."""
+    if n_structures < 1:
+        raise ValueError("n_structures must be >= 1")
+    k = KERNELS[kernel]
+    catalog: List[Tuple[str, DAG, np.ndarray]] = []
+    for i in range(n_structures):
+        builder = _BUILDERS[i % len(_BUILDERS)]
+        a = builder(seed + i // len(_BUILDERS))
+        operand = lower_triangle(a) if kernel == "sptrsv" else a
+        catalog.append((f"struct{i:02d}", k.dag(operand), k.cost(operand)))
+    return catalog
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf popularity: weight of rank ``k`` ∝ ``1/(k+1)^s``."""
+    w = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    return w / w.sum()
+
+
+async def _drive(
+    door: FrontDoor,
+    requests: List[ServeRequest],
+    gaps: np.ndarray,
+    report: ReplayReport,
+) -> None:
+    arrivals = np.cumsum(gaps)
+
+    async def one(i: int, req: ServeRequest) -> None:
+        if arrivals[i] > 0:
+            await asyncio.sleep(float(arrivals[i]))
+        t0 = time.perf_counter()
+        try:
+            result = await door.submit(req)
+        except ServiceRejected:
+            report.n_rejected += 1
+            return
+        report.latencies.append(time.perf_counter() - t0)
+        report.sources[result.source] = report.sources.get(result.source, 0) + 1
+        if result.degraded:
+            report.n_degraded += 1
+
+    await asyncio.gather(*(one(i, r) for i, r in enumerate(requests)))
+
+
+def run_replay(config: ReplayConfig) -> ReplayReport:
+    """Execute one replay through a fresh front door / broker / store."""
+    rng = np.random.default_rng(config.seed)
+    catalog = build_catalog(config.n_structures, config.kernel, seed=config.seed)
+    weights = zipf_weights(config.n_structures, config.zipf_s)
+    picks = rng.choice(config.n_structures, size=config.n_requests, p=weights)
+    if config.arrival_rate > 0:
+        gaps = rng.exponential(1.0 / config.arrival_rate, size=config.n_requests)
+    else:
+        gaps = np.zeros(config.n_requests)
+
+    store = (
+        ScheduleStore(config.store_root) if config.store_root is not None else None
+    )
+    broker = ScheduleBroker(store, max_inflight=config.max_inflight)
+    requests = [
+        ServeRequest(
+            g=catalog[i][1],
+            cost=catalog[i][2],
+            kernel=config.kernel,
+            algorithm=config.algorithm,
+            p=config.p,
+            deadline=config.deadline,
+        )
+        for i in picks
+    ]
+    report = ReplayReport(config=config)
+    t0 = time.perf_counter()
+    with FrontDoor(
+        broker, max_workers=config.concurrency, max_pending=config.max_pending
+    ) as door:
+        asyncio.run(_drive(door, requests, gaps, report))
+    report.wall_seconds = time.perf_counter() - t0
+    report.hit_rate = broker.stats.hit_rate
+    return report
+
+
+def replay_observation(report: ReplayReport, *, note: str = "") -> Observation:
+    """Lift a replay report into a perf-lab observation.
+
+    ``timings`` are the per-request latencies (the protocol's bootstrap
+    stats then describe the latency distribution); p50/p99/hit-rate ride
+    in the stage channel, where the trajectory snapshot surfaces them as
+    ``stage_medians``.
+    """
+    cfg = report.config
+    key = ObservationKey(
+        benchmark="service_replay",
+        matrix=cfg.label(),
+        kernel=cfg.kernel,
+        algorithm=cfg.algorithm,
+    )
+    return Observation(
+        key=key,
+        timings=list(report.latencies),
+        stages={
+            "p50": [report.p50],
+            "p99": [report.p99],
+            "hit_rate": [report.hit_rate],
+        },
+        fingerprint=collect_fingerprint(benchmark="service_replay"),
+        warmup=0,
+        target_rel_ci=0.0,
+        confidence=0.95,
+        seed=cfg.seed,
+        converged=True,
+        note=note
+        or (
+            f"n={cfg.n_requests} structures={cfg.n_structures} s={cfg.zipf_s:g} "
+            f"hit_rate={report.hit_rate:.3f} rejected={report.n_rejected}"
+        ),
+    )
+
+
+def _merge_trajectory(store: HistoryStore, path: str) -> dict:
+    """Rewrite ``path`` with this history's series merged over the existing.
+
+    ``write_trajectory`` regenerates a snapshot wholesale from one store;
+    the replay history is a *different* store from the inspector history,
+    so a plain rewrite would erase the inspector series.  Merge instead:
+    series and fingerprints already in the snapshot are kept unless this
+    store has a fresher version of the same (key, fingerprint) series.
+    """
+    tmp = f"{path}.replay-tmp"
+    try:
+        doc_new = write_trajectory(store, tmp, generated_by="repro.service.replay")
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    if not os.path.exists(path):
+        doc = doc_new
+    else:
+        doc = load_trajectory(path)
+        merged = {
+            (json_key(s["key"]), s["fingerprint_digest"]): s for s in doc["series"]
+        }
+        for s in doc_new["series"]:
+            merged[(json_key(s["key"]), s["fingerprint_digest"])] = s
+        doc["series"] = [merged[k] for k in sorted(merged)]
+        doc["fingerprints"] = {**doc["fingerprints"], **doc_new["fingerprints"]}
+    import json as _json
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        _json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def json_key(key_dict: dict) -> str:
+    """Stable string identity for an observation-key dict."""
+    import json as _json
+
+    return _json.dumps(key_dict, sort_keys=True)
+
+
+def record_replay(
+    report: ReplayReport,
+    history_path: str,
+    trajectory_path: Optional[str] = None,
+) -> Observation:
+    """Append the report to a perf-lab history and update the trajectory."""
+    obs = replay_observation(report)
+    store = HistoryStore(history_path)
+    store.append(obs)
+    if trajectory_path:
+        _merge_trajectory(store, trajectory_path)
+    return obs

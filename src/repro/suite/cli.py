@@ -131,6 +131,10 @@ def main(argv=None) -> int:
         from ..statan.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "service":
+        from ..service.cli import service_main
+
+        return service_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for s in SUITE:

@@ -20,7 +20,11 @@ from repro.passes import PASS_GROUPS
 from repro.resilience.faults import FAULT_SITES, FaultPlan
 from repro.schedulers import SCHEDULERS
 
-RESILIENCE_TESTS = Path(__file__).resolve().parents[1] / "resilience"
+TESTS_ROOT = Path(__file__).resolve().parents[1]
+#: suites that may discharge the "every fault site is exercised" duty —
+#: resilience owns the generic chaos machinery; the store/service suites
+#: own the four serving-stack sites (store.*, service.*)
+FAULT_SUITES = ("resilience", "store", "service")
 
 
 # ----------------------------------------------------------------------
@@ -68,16 +72,65 @@ def test_chaos_default_sites_are_registered():
 
 
 @pytest.mark.parametrize("site", sorted(FAULT_SITES))
-def test_every_fault_site_is_exercised_by_the_resilience_suite(site):
+def test_every_fault_site_is_exercised_by_a_fault_suite(site):
     """A registered site nobody injects is dead armor: adding a site to
     FAULT_SITES requires a chaos/fault test naming it (as a literal, the
     same discipline lint rule L001 enforces at the call sites)."""
     sources = "\n".join(
-        p.read_text() for p in sorted(RESILIENCE_TESTS.glob("test_*.py"))
+        p.read_text()
+        for suite in FAULT_SUITES
+        for p in sorted((TESTS_ROOT / suite).glob("test_*.py"))
     )
     assert f'"{site}"' in sources or f"'{site}'" in sources, (
-        f"fault site {site!r} is registered but never exercised under tests/resilience"
+        f"fault site {site!r} is registered but never exercised under "
+        + " / ".join(f"tests/{s}" for s in FAULT_SUITES)
     )
+
+
+def test_serving_stack_sites_are_registered():
+    """The four serving-stack sites of the crash-consistency suite must
+    stay registered: an unregistered literal at a ``fault_point`` call is
+    exactly what lint rule L001 rejects, and an unregistered site in a
+    ``FaultSpec`` would silently never fire."""
+    expected = {
+        "store.torn_write": {"raise", "corrupt"},
+        "store.bit_flip": {"corrupt"},
+        "store.stale_manifest": {"raise"},
+        "service.worker_crash": {"raise"},
+    }
+    for site, actions in expected.items():
+        assert site in FAULT_SITES, f"serving-stack fault site {site!r} unregistered"
+        assert set(FAULT_SITES[site]) == actions, (site, FAULT_SITES[site])
+
+
+def test_statan_l001_catches_unregistered_store_site(tmp_path):
+    """End-to-end check that L001 (the statan lint rule the runtime gate
+    above mirrors) flags a ``fault_point`` naming an unregistered
+    serving-stack site — the drift mode this PR makes newly possible."""
+    from repro.statan import run_lint
+
+    # L001 scopes itself to src/repro, so mirror that layout in the sandbox
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad_store_code.py"
+    bad.write_text(
+        "from repro.resilience.faults import fault_point\n\n\n"
+        "def write(blob):\n"
+        '    fault_point("store.torn_wrlte", payload=blob)\n'  # typo'd site
+        "    return blob\n"
+    )
+    diags = run_lint(tmp_path, rule_ids=["L001"])
+    assert any("store.torn_wrlte" in d.message for d in diags), [
+        d.render() for d in diags
+    ]
+    # and the real, registered literal is clean
+    bad.write_text(
+        "from repro.resilience.faults import fault_point\n\n\n"
+        "def write(blob):\n"
+        '    fault_point("store.torn_write", payload=blob)\n'
+        "    return blob\n"
+    )
+    assert run_lint(tmp_path, rule_ids=["L001"]) == []
 
 
 def test_fault_point_call_sites_use_registered_sites():

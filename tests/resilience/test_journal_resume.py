@@ -1,6 +1,7 @@
 """JSONL run journal: checkpointing, corruption tolerance, bit-identical resume."""
 
 import json
+import warnings
 
 import pytest
 
@@ -57,7 +58,41 @@ class TestJournalFormat:
             j.append_matrix("m1", [{"x": 1}])
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"kind": "matrix", "matrix": "m2", "rec')  # kill -9 signature
-        back = RunJournal(path, fingerprint="abc", resume=True)
+        with pytest.warns(RuntimeWarning, match="torn trailing journal line"):
+            back = RunJournal(path, fingerprint="abc", resume=True)
+        assert back.completed == ["m1"]
+        back.close()
+
+    def test_torn_tail_is_truncated_so_appends_stay_parseable(self, tmp_path):
+        # Regression: the torn line used to be merely *skipped*, leaving its
+        # bytes in place for the append handle to splice the next checkpoint
+        # onto — silently corrupting a healthy row.  Resume must truncate.
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}])
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "matrix", "matrix": "m2", "rec')
+        with pytest.warns(RuntimeWarning, match="torn trailing"):
+            with RunJournal(path, fingerprint="abc", resume=True) as back:
+                back.append_matrix("m3", [{"y": 2}])
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r.get("matrix") for r in rows] == [None, "m1", "m3"]
+        # and a second resume sees both matrices with no warning at all
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with RunJournal(path, fingerprint="abc", resume=True) as again:
+                assert again.completed == ["m1", "m3"]
+
+    def test_torn_multibyte_tail_tolerated(self, tmp_path):
+        # a kill mid-append can cut a UTF-8 sequence in half; resume must
+        # treat that like any other torn tail, not die on a decode error
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, fingerprint="abc") as j:
+            j.append_matrix("m1", [{"x": 1}])
+        with open(path, "ab") as fh:
+            fh.write('{"kind": "matrix", "matrix": "é'.encode("utf-8")[:-1])
+        with pytest.warns(RuntimeWarning, match="torn trailing"):
+            back = RunJournal(path, fingerprint="abc", resume=True)
         assert back.completed == ["m1"]
         back.close()
 

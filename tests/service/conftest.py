@@ -1,0 +1,35 @@
+"""Shared fixtures for the serving-stack suite: two small SpTRSV problems."""
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.service import ServeRequest
+from repro.sparse import banded_spd, lower_triangle, poisson2d
+
+
+def _problem(build):
+    kernel = KERNELS["sptrsv"]
+    low = lower_triangle(build())
+    return kernel.dag(low), kernel.cost(low)
+
+
+@pytest.fixture(scope="session")
+def problem_a():
+    return _problem(lambda: poisson2d(8, seed=0))
+
+
+@pytest.fixture(scope="session")
+def problem_b():
+    return _problem(lambda: banded_spd(120, 5, seed=3))
+
+
+@pytest.fixture()
+def request_a(problem_a):
+    g, cost = problem_a
+    return ServeRequest(g=g, cost=cost, kernel="sptrsv", algorithm="hdagg", p=4)
+
+
+@pytest.fixture()
+def request_b(problem_b):
+    g, cost = problem_b
+    return ServeRequest(g=g, cost=cost, kernel="sptrsv", algorithm="hdagg", p=4)

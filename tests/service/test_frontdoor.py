@@ -1,0 +1,90 @@
+"""FrontDoor: async gateway semantics — dispatch, shedding, lifecycle.
+
+asyncio is driven with ``asyncio.run`` directly (no pytest-asyncio
+dependency); blocking interleavings are forced with events, as in the
+broker suite.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import AdmissionRejected, FrontDoor, ScheduleBroker, ServeResult
+from repro.service import broker as broker_mod
+
+
+def test_submit_serves_through_the_broker(request_a):
+    broker = ScheduleBroker()
+    with FrontDoor(broker) as door:
+        result = asyncio.run(door.submit(request_a))
+    assert isinstance(result, ServeResult)
+    assert result.source == "inspected"
+    assert broker.stats.requests == 1
+
+
+def test_submit_many_buckets_results_and_rejections(request_a, request_b):
+    with FrontDoor(ScheduleBroker()) as door:
+        out = asyncio.run(door.submit_many([request_a, request_b, request_a]))
+    assert [type(r) for r in out] == [ServeResult] * 3
+    assert {r.source for r in out} <= {"inspected", "memory", "coalesced"}
+
+
+def test_overload_sheds_immediately_without_queueing(request_a, request_b, monkeypatch):
+    entered = threading.Event()
+    release = threading.Event()
+    real = broker_mod.inspect_with_fallback
+
+    def slow(algorithm, g, cost, p, **kwargs):
+        entered.set()
+        assert release.wait(10)
+        return real(algorithm, g, cost, p, **kwargs)
+
+    monkeypatch.setattr(broker_mod, "inspect_with_fallback", slow)
+
+    async def drive():
+        async with FrontDoor(ScheduleBroker(), max_workers=2, max_pending=1) as door:
+            first = asyncio.ensure_future(door.submit(request_a))
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: entered.wait(5)
+            )
+            assert door.pending == 1
+            with pytest.raises(AdmissionRejected) as exc_info:
+                await door.submit(request_b)
+            payload = exc_info.value.as_dict()
+            assert payload["reason"] == "admission_full"
+            assert payload["pending"] == 1 and payload["capacity"] == 1
+            release.set()
+            result = await first
+            assert result.source == "inspected"
+            assert door.pending == 0
+            # capacity freed: the shed request is admitted on retry
+            assert (await door.submit(request_b)).source == "inspected"
+
+    asyncio.run(drive())
+
+
+def test_closed_door_refuses(request_a):
+    door = FrontDoor(ScheduleBroker())
+    door.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        asyncio.run(door.submit(request_a))
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError, match="max_pending"):
+        FrontDoor(ScheduleBroker(), max_pending=0)
+
+
+def test_concurrent_submissions_coalesce(request_a):
+    """Many async clients, one key: the broker's single-flight shows
+    through the front door as one inspection plus coalesced/memory hits."""
+    broker = ScheduleBroker()
+
+    async def drive():
+        async with FrontDoor(broker, max_workers=4, max_pending=16) as door:
+            return await door.submit_many([request_a] * 8)
+
+    out = asyncio.run(drive())
+    assert [type(r) for r in out] == [ServeResult] * 8
+    assert broker.stats.inspected == 1

@@ -1,0 +1,187 @@
+"""Traffic replay: determinism, report shape, perf-lab recording, CLI."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.perflab.fingerprint import collect_fingerprint
+from repro.perflab.history import HistoryStore, load_trajectory, write_trajectory
+from repro.perflab.protocol import Observation, ObservationKey
+from repro.service.cli import service_main
+from repro.service.replay import (
+    ReplayConfig,
+    build_catalog,
+    record_replay,
+    run_replay,
+    zipf_weights,
+)
+
+SMALL = dict(n_requests=40, n_structures=3, seed=0, p=4, concurrency=4)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_replay(ReplayConfig(**SMALL))
+
+
+class TestTrafficModel:
+    def test_zipf_weights_normalised_and_skewed(self):
+        w = zipf_weights(6, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) < 0), "popularity must fall with rank"
+        flat = zipf_weights(6, 0.0)
+        np.testing.assert_allclose(flat, np.full(6, 1 / 6))
+
+    def test_catalog_is_seeded_and_distinct(self):
+        a = build_catalog(4, "sptrsv", seed=0)
+        b = build_catalog(4, "sptrsv", seed=0)
+        assert [n for n, _, _ in a] == [n for n, _, _ in b]
+        for (_, ga, _), (_, gb, _) in zip(a, b):
+            np.testing.assert_array_equal(ga.indptr, gb.indptr)
+        digests = {(g.n, g.n_edges, g.indices.tobytes()) for _, g, _ in a}
+        assert len(digests) == 4, "structures must be distinct"
+
+    def test_catalog_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_catalog(0, "sptrsv")
+
+
+class TestReplay:
+    def test_report_accounts_for_every_request(self, report):
+        assert report.n_ok + report.n_rejected == SMALL["n_requests"]
+        assert sum(report.sources.values()) == report.n_ok
+        assert report.wall_seconds > 0
+
+    def test_zipf_head_yields_hits(self, report):
+        """With 40 requests over 3 structures, at most 3 fresh inspections
+        happen; everything else must come from cache/coalescing."""
+        assert report.sources.get("inspected", 0) <= SMALL["n_structures"]
+        assert report.hit_rate > 0.5
+        assert 0 < report.p50 <= report.p99
+
+    def test_replay_traffic_is_deterministic(self, report):
+        again = run_replay(ReplayConfig(**SMALL))
+        # wall-clock numbers differ run to run; the traffic must not
+        assert again.n_ok == report.n_ok
+        assert again.sources.get("inspected", 0) == report.sources.get("inspected", 0)
+        assert again.n_degraded == report.n_degraded
+
+    def test_replay_with_store_and_pacing(self, tmp_path):
+        cfg = ReplayConfig(
+            n_requests=20, n_structures=2, seed=1, p=4,
+            store_root=str(tmp_path / "store"), arrival_rate=2000.0,
+        )
+        first = run_replay(cfg)
+        assert first.n_ok == 20
+        # a second replay against the same store serves the catalog from
+        # disk: zero fresh inspections
+        second = run_replay(cfg)
+        assert second.sources.get("inspected", 0) == 0
+        assert second.hit_rate == 1.0
+
+    def test_as_dict_is_json_clean(self, report):
+        blob = json.dumps(report.as_dict())
+        assert "p50_seconds" in blob and "hit_rate" in blob
+
+
+class TestRecording:
+    def test_observation_carries_the_roadmap_series(self, report):
+        from repro.service.replay import replay_observation
+
+        obs = replay_observation(report)
+        assert obs.key.benchmark == "service_replay"
+        assert len(obs.timings) == report.n_ok
+        assert obs.stages["p50"] == [report.p50]
+        assert obs.stages["p99"] == [report.p99]
+        assert obs.stages["hit_rate"] == [report.hit_rate]
+
+    def test_record_replay_appends_history_and_writes_trajectory(self, tmp_path, report):
+        history = tmp_path / "svc.jsonl"
+        trajectory = tmp_path / "traj.json"
+        record_replay(report, str(history), str(trajectory))
+        assert len(HistoryStore(str(history))) == 1
+        doc = load_trajectory(str(trajectory))
+        (series,) = doc["series"]
+        assert series["key"]["benchmark"] == "service_replay"
+        medians = series["latest"]["stage_medians"]
+        for channel in ("p50", "p99", "hit_rate"):
+            assert channel in medians
+        assert medians["hit_rate"] == pytest.approx(report.hit_rate)
+
+    def test_merge_preserves_foreign_series(self, tmp_path, report):
+        """The replay must never clobber the inspector series already in
+        BENCH_trajectory.json — merge, not rewrite."""
+        trajectory = tmp_path / "traj.json"
+        other = HistoryStore(str(tmp_path / "inspector.jsonl"))
+        other.append(
+            Observation(
+                key=ObservationKey("inspector", "poisson2d", "sptrsv", "hdagg"),
+                timings=[0.1, 0.11, 0.09],
+                stages={},
+                fingerprint=collect_fingerprint(benchmark="inspector"),
+                warmup=1,
+                target_rel_ci=0.05,
+                confidence=0.95,
+                seed=0,
+                converged=True,
+            )
+        )
+        write_trajectory(other, str(trajectory))
+        record_replay(report, str(tmp_path / "svc.jsonl"), str(trajectory))
+        doc = load_trajectory(str(trajectory))
+        benchmarks = sorted(s["key"]["benchmark"] for s in doc["series"])
+        assert benchmarks == ["inspector", "service_replay"]
+
+
+class TestCli:
+    def test_replay_command_reports_the_numbers(self, tmp_path, capsys):
+        rc = service_main(
+            [
+                "replay", "--requests", "30", "--structures", "2", "--p", "4",
+                "--history", str(tmp_path / "svc.jsonl"),
+                "--trajectory", str(tmp_path / "traj.json"),
+                "--json", str(tmp_path / "report.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50_ms" in out and "p99_ms" in out and "hit_rate" in out
+        assert (tmp_path / "traj.json").exists()
+        blob = json.loads((tmp_path / "report.json").read_text())
+        assert blob["n_ok"] + blob["n_rejected"] == 30
+
+    def test_audit_command(self, tmp_path, capsys, request_a):
+        from repro.service import ScheduleBroker
+        from repro.store import ScheduleStore
+
+        root = tmp_path / "store"
+        ScheduleBroker(ScheduleStore(root)).request(request_a)
+        assert service_main(["audit", str(root), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "scanned" in out and "quarantined 0" in out
+
+    def test_audit_strict_flags_quarantines(self, tmp_path, capsys, request_a):
+        from repro.service import ScheduleBroker
+        from repro.store import ScheduleStore
+
+        root = tmp_path / "store"
+        broker = ScheduleBroker(ScheduleStore(root))
+        broker.request(request_a)
+        record = next((root / "shards").rglob("*.sched"))
+        record.write_bytes(record.read_bytes()[:-2])
+        assert service_main(["audit", str(root), "--strict"]) == 1
+
+    def test_suite_cli_dispatches_service(self, capsys):
+        from repro.suite.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["service"])  # argparse: missing subcommand
+
+
+def test_frontdoor_loop_isolation(report):
+    """run_replay owns its event loop; calling it from sync code with no
+    running loop (the CLI path) must leave asyncio clean."""
+    with pytest.raises(RuntimeError):
+        asyncio.get_running_loop()

@@ -1,0 +1,34 @@
+"""Shared fixtures for the schedule-store suite.
+
+``corpus`` is the cross-product the ISSUE pins: every registered
+scheduler over four seeded matrices (one per generator family, the
+golden-snapshot set).  Building it is the expensive part of the suite, so
+it is session-scoped.
+"""
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.schedulers import SCHEDULERS
+from repro.sparse import banded_spd, lower_triangle, poisson2d, power_law_spd, random_spd
+
+MATRICES = {
+    "poisson2d": lambda: poisson2d(12, seed=0),
+    "banded": lambda: banded_spd(160, 6, seed=3),
+    "random": lambda: random_spd(150, 4.0, seed=7),
+    "power_law": lambda: power_law_spd(150, 5.0, seed=11),
+}
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """``{(scheduler, matrix): (schedule, dag)}`` for every combination."""
+    kernel = KERNELS["sptrsv"]
+    out = {}
+    for mname, build in MATRICES.items():
+        low = lower_triangle(build())
+        g = kernel.dag(low)
+        cost = kernel.cost(low)
+        for sname, scheduler in SCHEDULERS.items():
+            out[(sname, mname)] = (scheduler(g, cost, 4), g)
+    return out

@@ -23,6 +23,8 @@ MODULES = [
     "repro.metrics",
     "repro.suite",
     "repro.resilience",
+    "repro.store",
+    "repro.service",
 ]
 
 
