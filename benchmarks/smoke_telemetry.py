@@ -1,0 +1,219 @@
+"""Service telemetry gate for CI: dormancy, identity, catalog, trees.
+
+Four promises from the request-level telemetry layer, checked on a
+smoke-sized seeded traffic replay:
+
+1. **<2% dormant overhead.**  With the ambient switch off, every
+   instrumentation site in the serving path costs one guard (an attribute
+   read on the module-global state slot).  As in
+   ``smoke_observability.py``, the gate measures the per-guard cost
+   directly and bounds ``guards x cost_per_guard`` against the measured
+   replay wall time with a *generous upper bound* on guarded sites per
+   request — deterministic on shared runners, unlike diffing two noisy
+   wall-clock runs.
+
+2. **Identical deterministic results with telemetry on or off.**  Two
+   dormant replays and one fully-instrumented replay of the same seeded
+   config must agree byte-for-byte on every deterministic report field
+   (served/shed/degraded counts, hit rate, inspection count) once
+   wall-clock fields are dropped and the timing-dependent
+   memory/coalesced split is merged.
+
+3. **No registry drift.**  Every metric the instrumented replay actually
+   registered must be declared in the closed catalog
+   (``catalog_violations``), and the static L009 lint rule must hold over
+   ``src/repro`` — the runtime and static views of the catalog gate each
+   other.
+
+4. **Valid request trees + consumable artifacts.**  The instrumented run
+   must produce one structurally valid span tree per request and all five
+   telemetry artifacts, and the dashboard must render from them.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_telemetry.py [budget_ms]
+
+``budget_ms`` is a generous tripwire on the instrumented replay's wall
+time; the four gates above are absolute.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.observability.dashboard import render_dashboard
+from repro.observability.state import STATE
+from repro.observability.telemetry import catalog_violations, validate_request_trees
+from repro.service.replay import ReplayConfig, run_replay, run_replay_with_telemetry
+from repro.statan import run_lint
+
+DEFAULT_BUDGET_MS = 30_000.0
+OVERHEAD_LIMIT = 0.02
+DORMANT_ROUNDS = 2
+
+#: upper bound on guarded instrumentation sites executed per request:
+#: front-door admission + queue-wait + root span bookkeeping, broker tier
+#: spans and latency observes, store read/write counters and gauges —
+#: each a handful of guards; 200 is far above any real count
+GUARDS_PER_REQUEST = 200
+GUARDS_CONSTANT = 20_000
+
+ARTIFACTS = ("spans.jsonl", "trace.json", "metrics.jsonl", "metrics.prom", "replay.json")
+
+
+def _config(store_root: str) -> ReplayConfig:
+    return ReplayConfig(
+        n_requests=160,
+        n_structures=4,
+        zipf_s=1.2,
+        seed=0,
+        kernel="sptrsv",
+        algorithm="hdagg",
+        p=8,
+        concurrency=8,
+        max_pending=256,
+        max_inflight=8,
+        store_root=store_root,
+    )
+
+
+def _normalised_json(report) -> str:
+    """Deterministic report fields only, as canonical JSON.
+
+    Wall-clock fields (latency quantiles, wall time, per-tier rows) are
+    dropped; ``memory`` and ``coalesced`` are merged into one ``cached``
+    bucket because the split between them depends on request timing, while
+    their sum (everything served without a fresh inspection) is seeded.
+    """
+    blob = report.as_dict()
+    for f in ("p50_seconds", "p99_seconds", "wall_seconds", "tiers"):
+        blob.pop(f, None)
+    sources = blob.pop("sources", {})
+    blob["sources"] = {
+        "inspected": sources.get("inspected", 0),
+        "store": sources.get("store", 0),
+        "cached": sources.get("memory", 0) + sources.get("coalesced", 0),
+    }
+    return json.dumps(blob, sort_keys=True)
+
+
+def _guard_cost_seconds(iterations: int = 1_000_000) -> float:
+    """Amortised cost of one dormant guard (`STATE.enabled` read)."""
+    sink = False
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        if STATE.enabled:
+            sink = True  # pragma: no cover - state is dormant here
+    elapsed = time.perf_counter() - t0
+    assert not sink
+    return elapsed / iterations
+
+
+def main(budget_ms: float = DEFAULT_BUDGET_MS) -> int:
+    ok = True
+
+    # --- dormant rounds ----------------------------------------------
+    dormant_blobs = []
+    best_s = float("inf")
+    for _ in range(DORMANT_ROUNDS):
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            report = run_replay(_config(f"{tmp}/store"))
+            best_s = min(best_s, time.perf_counter() - t0)
+        dormant_blobs.append(_normalised_json(report))
+        if report.n_rejected or report.n_ok != report.config.n_requests:
+            print(f"FAIL: dormant replay shed {report.n_rejected} requests "
+                  "despite being sized under the admission bounds", file=sys.stderr)
+            ok = False
+
+    # --- gate 1: dormant guard overhead bound -------------------------
+    per_guard = _guard_cost_seconds()
+    n_guards = _config("x").n_requests * GUARDS_PER_REQUEST + GUARDS_CONSTANT
+    overhead_s = n_guards * per_guard
+    ratio = overhead_s / best_s
+    print(f"replay: best dormant wall = {best_s * 1e3:.1f} ms, "
+          f"guard = {per_guard * 1e9:.1f} ns, "
+          f"bound = {n_guards} guards -> {overhead_s * 1e3:.2f} ms "
+          f"({ratio * 100:.2f}% of replay)")
+    if ratio > OVERHEAD_LIMIT:
+        print(f"FAIL: dormant overhead bound {ratio * 100:.2f}% exceeds "
+              f"{OVERHEAD_LIMIT * 100:.0f}%", file=sys.stderr)
+        ok = False
+
+    # --- instrumented round -------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = Path(tmp) / "telemetry"
+        t0 = time.perf_counter()
+        report, tracer, registry = run_replay_with_telemetry(
+            _config(f"{tmp}/store"), str(out_dir)
+        )
+        traced_s = time.perf_counter() - t0
+
+        # --- gate 2: deterministic fields identical off/off/on --------
+        traced_blob = _normalised_json(report)
+        for blob, label in zip(
+            dormant_blobs + [traced_blob],
+            [f"dormant run {i + 2}" for i in range(DORMANT_ROUNDS - 1)] + ["instrumented run"],
+        ):
+            if blob != dormant_blobs[0]:
+                print(f"FAIL: {label} changed deterministic report fields:\n"
+                      f"  base: {dormant_blobs[0]}\n  got:  {blob}", file=sys.stderr)
+                ok = False
+
+        # --- gate 3: registry drift (runtime + static) -----------------
+        undeclared = catalog_violations(registry.names())
+        if undeclared:
+            print(f"FAIL: metrics outside the closed catalog: {undeclared}",
+                  file=sys.stderr)
+            ok = False
+        repo_root = Path(__file__).resolve().parents[1]
+        drift = run_lint(repo_root, rule_ids=["L009"])
+        if drift:
+            for d in drift:
+                print(f"FAIL: L009 {d.path}:{d.line}: {d.message}", file=sys.stderr)
+            ok = False
+
+        # --- gate 4: request trees + artifacts -------------------------
+        problems = validate_request_trees(
+            tracer.spans, expect=report.config.n_requests
+        )
+        if problems:
+            for p in problems[:10]:
+                print(f"FAIL: span tree: {p}", file=sys.stderr)
+            ok = False
+        for name in ARTIFACTS:
+            if not (out_dir / name).exists():
+                print(f"FAIL: missing telemetry artifact {name}", file=sys.stderr)
+                ok = False
+        dash = render_dashboard(out_dir, title="smoke telemetry")
+        if not dash.read_text().strip():
+            print("FAIL: dashboard rendered empty", file=sys.stderr)
+            ok = False
+
+    print(f"instrumented replay: {report.n_ok}/{report.config.n_requests} served, "
+          f"hit_rate {report.hit_rate:.3f}, {traced_s * 1e3:.1f} ms wall, "
+          f"{len(tracer.spans)} spans, {len(registry.names())} metrics")
+    if traced_s * 1e3 > budget_ms:
+        print(f"FAIL: instrumented replay took {traced_s * 1e3:.0f} ms "
+              f"(budget {budget_ms:.0f} ms)", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print("OK: dormant <2% bound, off/off/on reports identical, "
+              "catalog closed, request trees valid")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    budget = DEFAULT_BUDGET_MS
+    if len(sys.argv) > 1:
+        try:
+            budget = float(sys.argv[1])
+        except ValueError:
+            print(f"usage: {sys.argv[0]} [budget_ms]", file=sys.stderr)
+            raise SystemExit(2)
+    raise SystemExit(main(budget))

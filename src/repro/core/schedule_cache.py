@@ -134,12 +134,13 @@ class ScheduleCache:
                     # through — the store already holds it) and serve
                     self._entries[key] = promoted
                     self._entries.move_to_end(key)
-                    if self.max_entries is not None:
-                        while len(self._entries) > self.max_entries:
-                            self._entries.popitem(last=False)
+                    self._shrink_to_capacity()
                     self._hits += 1
                     if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
                         _OBS_STATE.registry.counter("schedule_cache.store_hits").inc()
+                        _OBS_STATE.registry.gauge("schedule_cache.entries").set(
+                            len(self._entries)
+                        )
                     return promoted
             self._misses += 1
             if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
@@ -158,6 +159,15 @@ class ScheduleCache:
         """Drop one entry (cache-corruption recovery); True when it existed."""
         return self._entries.pop(key, None) is not None
 
+    def _shrink_to_capacity(self) -> None:
+        """Evict LRU entries past ``max_entries``, counting each one."""
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                _OBS_STATE.registry.counter("schedule_cache.evictions").inc()
+
     def put(self, key: str, schedule: Schedule) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if over capacity.
 
@@ -168,9 +178,9 @@ class ScheduleCache:
         """
         self._entries[key] = schedule
         self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        self._shrink_to_capacity()
+        if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+            _OBS_STATE.registry.gauge("schedule_cache.entries").set(len(self._entries))
         if self.store is not None:
             try:
                 self.store.put(key, schedule)

@@ -12,7 +12,12 @@ The subsystem behind ``hdagg-bench trace`` (see DESIGN.md §10):
   trace-vs-model summaries;
 * :mod:`~repro.observability.state` — the ambient enable switch
   (disabled by default; dormant cost is one attribute read per guarded
-  site, gated by ``benchmarks/smoke_observability.py``).
+  site, gated by ``benchmarks/smoke_observability.py``);
+* :mod:`~repro.observability.telemetry` — request-level serving
+  telemetry: request ids, the span taxonomy, the closed metric catalog,
+  request-tree validation, and JSONL metric snapshots (DESIGN.md §15);
+* :mod:`~repro.observability.dashboard` — the self-contained HTML
+  service dashboard behind ``hdagg-bench service dash``.
 """
 
 from .export import chrome_trace, spans_to_jsonl, write_chrome_trace, write_spans_jsonl
@@ -25,7 +30,7 @@ from .reports import (
     utilization_report,
     utilization_rows,
 )
-from .spans import NULL_TRACER, NullTracer, Span, Tracer
+from .spans import NULL_TRACER, ManualSpan, NullTracer, Span, SpanContext, Tracer
 from .state import (
     STATE,
     current_registry,
@@ -37,8 +42,22 @@ from .state import (
 )
 from .timeline import SEGMENT_KINDS, CoreTimeline, Segment, TimelineRecorder
 
+from .telemetry import (
+    LATENCY_BUCKETS,
+    MetricsSnapshotter,
+    RequestContext,
+    catalog_violations,
+    metric_catalog,
+    next_request_id,
+    request_trees,
+    tier_breakdown,
+    validate_request_trees,
+)
+
 __all__ = [
     "Span",
+    "SpanContext",
+    "ManualSpan",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -67,4 +86,13 @@ __all__ = [
     "observed",
     "current_tracer",
     "current_registry",
+    "RequestContext",
+    "MetricsSnapshotter",
+    "LATENCY_BUCKETS",
+    "metric_catalog",
+    "catalog_violations",
+    "next_request_id",
+    "request_trees",
+    "tier_breakdown",
+    "validate_request_trees",
 ]

@@ -1,0 +1,380 @@
+"""Self-contained HTML service dashboard (``hdagg-bench service dash``).
+
+The dashboard is rendered offline from the artifacts a telemetry replay
+(or any :class:`~repro.observability.telemetry.MetricsSnapshotter` user)
+leaves behind — no server, no network, one HTML file that opens anywhere:
+
+* ``metrics.jsonl`` — periodic registry snapshots; the time axis for
+  every sparkline (drawn with :func:`repro.perflab.report.sparkline`,
+  the same SVG renderer the perf-lab reports use);
+* ``replay.json`` (optional) — the replay report plus the request-tree
+  validation verdict, rendered as a header card.
+
+The text twin ``hdagg-bench service stats`` prints the same summary —
+:func:`service_summary` is the shared extraction step, so the terminal
+and the HTML never disagree about what the metrics say.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from os import PathLike
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..perflab.report import sparkline
+from .metrics import Histogram
+from .telemetry import TIERS, load_snapshots
+
+#: Latency-outcome labels (``service.latency.outcome.*`` in the catalog).
+_LATENCY_OUTCOMES = ("ok", "degraded", "shed", "deadline")
+
+__all__ = [
+    "SERVICE_COUNTERS",
+    "STORE_METRICS",
+    "service_summary",
+    "format_stats",
+    "dashboard_html",
+    "render_dashboard",
+]
+
+#: Service counters shown on the overview panel, in display order.
+SERVICE_COUNTERS = (
+    "requests",
+    "memory_hits",
+    "store_hits",
+    "inspected",
+    "coalesced",
+    "rejected",
+    "degraded",
+    "retries",
+    "sheds.frontdoor",
+    "sheds.broker",
+    "deadline_misses",
+    "store_write_errors",
+)
+
+#: Store-health metrics (counters and gauges) shown on the store panel.
+STORE_METRICS = (
+    "store.writes",
+    "store.hits",
+    "store.misses",
+    "store.evictions",
+    "store.quarantined",
+    "store.quarantine_count",
+    "store.shard_occupancy",
+    "store.occupancy_bytes",
+    "store.manifest_repairs",
+    "store.manifest_rebuilds",
+    "store.codec_errors",
+)
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _value(metrics: dict, name: str) -> Optional[float]:
+    blob = metrics.get(name)
+    if isinstance(blob, dict) and "value" in blob:
+        return float(blob["value"])
+    return None
+
+
+def _histogram(metrics: dict, name: str) -> Optional[Histogram]:
+    blob = metrics.get(name)
+    if isinstance(blob, dict) and blob.get("type") == "histogram":
+        return Histogram.from_dict(name, blob)
+    return None
+
+
+def _latency_row(metrics: dict, name: str) -> Optional[dict]:
+    hist = _histogram(metrics, name)
+    if hist is None or hist.count == 0:
+        return None
+    row: Dict[str, Union[int, float, None]] = {"count": hist.count, "mean_seconds": hist.mean}
+    for q in _QUANTILES:
+        row[f"p{int(q * 100)}_seconds"] = hist.quantile(q)
+    return row
+
+
+def service_summary(metrics: dict) -> dict:
+    """Structured service summary from one registry-``as_dict`` blob.
+
+    The single extraction step behind both ``service stats`` (text) and
+    ``service dash`` (HTML): service counters, per-tier / per-outcome
+    latency quantiles, queue-wait and coalesce fan-in digests, and the
+    store-health metrics.  Absent metrics are simply omitted — a summary
+    over a registry that never served traffic is the empty-ish dict, not
+    an error.
+    """
+    counters = {}
+    for name in SERVICE_COUNTERS:
+        v = _value(metrics, f"service.{name}")
+        if v is not None:
+            counters[name] = int(v)
+    tiers = {}
+    for tier in TIERS:
+        row = _latency_row(metrics, f"service.latency.tier.{tier}")
+        if row is not None:
+            tiers[tier] = row
+    served = sum(r["count"] for r in tiers.values())
+    for row in tiers.values():
+        row["share"] = row["count"] / served if served else 0.0
+    outcomes = {}
+    for outcome in _LATENCY_OUTCOMES:
+        row = _latency_row(metrics, f"service.latency.outcome.{outcome}")
+        if row is not None:
+            outcomes[outcome] = row
+    summary = {
+        "counters": counters,
+        "tiers": tiers,
+        "outcomes": outcomes,
+        "store": {},
+    }
+    queue = _latency_row(metrics, "service.queue_wait_seconds")
+    if queue is not None:
+        summary["queue_wait"] = queue
+    fanin = _histogram(metrics, "service.coalesce_fanin")
+    if fanin is not None and fanin.count:
+        summary["coalesce_fanin"] = {
+            "count": fanin.count,
+            "mean": fanin.mean,
+            "max": fanin.max,
+        }
+    for name in STORE_METRICS:
+        v = _value(metrics, name)
+        if v is not None:
+            summary["store"][name.split(".", 1)[1]] = v
+    return summary
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def format_stats(summary: dict) -> str:
+    """Render a :func:`service_summary` as aligned terminal text."""
+    lines: List[str] = []
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("service counters")
+        for name, value in counters.items():
+            lines.append(f"  {name:18s} {value:>10d}")
+    for section, label in (("tiers", "latency by tier"), ("outcomes", "latency by outcome")):
+        rows = summary.get(section, {})
+        if rows:
+            lines.append(f"{label} (count / p50 / p99)")
+            for name, row in sorted(rows.items()):
+                share = f"  {row['share']:6.1%}" if "share" in row else ""
+                lines.append(
+                    f"  {name:12s} {row['count']:>8d}  "
+                    f"{_fmt_seconds(row.get('p50_seconds')):>12s}  "
+                    f"{_fmt_seconds(row.get('p99_seconds')):>12s}{share}"
+                )
+    queue = summary.get("queue_wait")
+    if queue:
+        lines.append(
+            f"queue wait   p50 {_fmt_seconds(queue.get('p50_seconds'))}  "
+            f"p99 {_fmt_seconds(queue.get('p99_seconds'))}"
+        )
+    fanin = summary.get("coalesce_fanin")
+    if fanin:
+        lines.append(
+            f"coalesce     flights {fanin['count']}  mean fan-in {fanin['mean']:.2f}  "
+            f"max {fanin['max']:.0f}"
+        )
+    store = summary.get("store", {})
+    if store:
+        lines.append("store health")
+        for name, value in store.items():
+            lines.append(f"  {name:18s} {value:>10.0f}")
+    if not lines:
+        lines.append("no service metrics recorded")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+_CSS = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a1a; padding: 0 1em; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 1em 0; width: 100%; }
+th, td { border: 1px solid #d0d0d0; padding: 0.35em 0.6em; text-align: left; }
+th { background: #f2f2f2; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #006400; font-weight: 600; }
+.bad { color: #b30000; font-weight: 700; }
+.muted { color: #777; }
+code { background: #f5f5f5; padding: 0 0.25em; }
+svg.spark { vertical-align: middle; }
+.cards { display: flex; flex-wrap: wrap; gap: 0.8em; margin: 1em 0; }
+.card { border: 1px solid #d0d0d0; border-radius: 6px; padding: 0.5em 0.9em;
+        min-width: 8em; }
+.card .v { font-size: 1.5em; font-weight: 600; }
+.card .k { color: #777; font-size: 0.85em; }
+"""
+
+
+def _series(snapshots: Sequence[dict], name: str) -> List[Optional[float]]:
+    """Per-snapshot trajectory of one metric (counter/gauge value,
+    histogram count) — the sparkline input."""
+    out: List[Optional[float]] = []
+    for snap in snapshots:
+        blob = snap.get("metrics", {}).get(name)
+        if not isinstance(blob, dict):
+            out.append(None)
+        elif blob.get("type") == "histogram":
+            out.append(float(blob.get("count", 0)))
+        else:
+            out.append(_value(snap.get("metrics", {}), name))
+    return out
+
+
+def dashboard_html(
+    snapshots: Sequence[dict],
+    *,
+    title: str = "Service dashboard",
+    replay: Optional[dict] = None,
+) -> str:
+    """Render the dashboard from snapshot lines (+ optional replay report).
+
+    ``snapshots`` come from :func:`~repro.observability.telemetry.load_snapshots`;
+    the final snapshot supplies the summary numbers and the whole
+    sequence supplies the sparkline trajectories.  Entirely
+    self-contained — inline CSS, inline SVG, zero network access.
+    """
+    esc = html.escape
+    metrics = snapshots[-1].get("metrics", {}) if snapshots else {}
+    summary = service_summary(metrics)
+    elapsed = snapshots[-1].get("elapsed_s", 0.0) if snapshots else 0.0
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f"<p class='muted'>{len(snapshots)} snapshots over {elapsed:.1f}s; "
+        f"{len(metrics)} metrics in the final registry.</p>",
+    ]
+    if replay is not None:
+        report = replay.get("report", replay)
+        problems = replay.get("span_problems", [])
+        verdict = (
+            "<span class='ok'>request trees valid</span>"
+            if not problems
+            else f"<span class='bad'>{len(problems)} span problems</span>"
+        )
+        parts.append("<div class='cards'>")
+        for key, label in (
+            ("n_ok", "served"),
+            ("n_rejected", "shed"),
+            ("n_degraded", "degraded"),
+        ):
+            if key in report:
+                parts.append(
+                    f"<div class='card'><div class='v'>{report[key]}</div>"
+                    f"<div class='k'>{label}</div></div>"
+                )
+        if "hit_rate" in report:
+            parts.append(
+                f"<div class='card'><div class='v'>{report['hit_rate']:.1%}</div>"
+                "<div class='k'>hit rate</div></div>"
+            )
+        parts.append(f"<div class='card'><div class='v'>{verdict}</div>"
+                     "<div class='k'>trace check</div></div>")
+        parts.append("</div>")
+        for problem in problems[:10]:
+            parts.append(f"<p class='bad'><code>{esc(str(problem))}</code></p>")
+    counters = summary.get("counters", {})
+    if counters:
+        parts.append("<h2>Service</h2><table><tr><th>counter</th>"
+                     "<th>total</th><th>trajectory</th></tr>")
+        for name, value in counters.items():
+            traj = _series(snapshots, f"service.{name}")
+            parts.append(
+                f"<tr><td><code>service.{esc(name)}</code></td>"
+                f"<td class='num'>{value}</td><td>{sparkline(traj)}</td></tr>"
+            )
+        parts.append("</table>")
+    for section, heading in (
+        ("tiers", "Latency by tier"),
+        ("outcomes", "Latency by outcome"),
+    ):
+        rows = summary.get(section, {})
+        if not rows:
+            continue
+        parts.append(f"<h2>{heading}</h2><table><tr><th>{section[:-1]}</th>"
+                     "<th>count</th><th>p50</th><th>p90</th><th>p99</th>"
+                     + ("<th>share</th>" if section == "tiers" else "")
+                     + "<th>trajectory</th></tr>")
+        prefix = "tier" if section == "tiers" else "outcome"
+        for name, row in sorted(rows.items()):
+            traj = _series(snapshots, f"service.latency.{prefix}.{name}")
+            share = (
+                f"<td class='num'>{row['share']:.1%}</td>" if "share" in row else ""
+            )
+            parts.append(
+                f"<tr><td><code>{esc(name)}</code></td>"
+                f"<td class='num'>{row['count']}</td>"
+                f"<td class='num'>{_fmt_seconds(row.get('p50_seconds'))}</td>"
+                f"<td class='num'>{_fmt_seconds(row.get('p90_seconds'))}</td>"
+                f"<td class='num'>{_fmt_seconds(row.get('p99_seconds'))}</td>"
+                f"{share}<td>{sparkline(traj)}</td></tr>"
+            )
+        parts.append("</table>")
+    extras = []
+    queue = summary.get("queue_wait")
+    if queue:
+        extras.append(
+            f"queue wait: p50 {_fmt_seconds(queue.get('p50_seconds'))}, "
+            f"p99 {_fmt_seconds(queue.get('p99_seconds'))} over {queue['count']} requests"
+        )
+    fanin = summary.get("coalesce_fanin")
+    if fanin:
+        extras.append(
+            f"coalesce fan-in: mean {fanin['mean']:.2f}, max {fanin['max']:.0f} "
+            f"over {fanin['count']} led flights"
+        )
+    if extras:
+        parts.append("<p>" + "; ".join(esc(e) for e in extras) + ".</p>")
+    store = summary.get("store", {})
+    if store:
+        parts.append("<h2>Store health</h2><table><tr><th>metric</th>"
+                     "<th>value</th><th>trajectory</th></tr>")
+        for name, value in store.items():
+            traj = _series(snapshots, f"store.{name}")
+            parts.append(
+                f"<tr><td><code>store.{esc(name)}</code></td>"
+                f"<td class='num'>{value:.0f}</td><td>{sparkline(traj)}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    telemetry_dir: Union[str, PathLike],
+    out_path: Union[str, PathLike, None] = None,
+    *,
+    title: str = "Service dashboard",
+) -> Path:
+    """Read a telemetry directory and write ``dashboard.html`` into it.
+
+    The directory is whatever ``run_replay_with_telemetry`` (or a manual
+    snapshotter) produced: ``metrics.jsonl`` is required, ``replay.json``
+    is picked up when present.  Returns the written path.
+    """
+    root = Path(telemetry_dir)
+    metrics_path = root / "metrics.jsonl"
+    if not metrics_path.exists():
+        raise FileNotFoundError(f"{metrics_path}: no metrics snapshots to render")
+    snapshots = load_snapshots(metrics_path)
+    replay = None
+    replay_path = root / "replay.json"
+    if replay_path.exists():
+        replay = json.loads(replay_path.read_text(encoding="utf-8"))
+    out = Path(out_path) if out_path is not None else root / "dashboard.html"
+    out.write_text(dashboard_html(snapshots, title=title, replay=replay), encoding="utf-8")
+    return out

@@ -21,6 +21,8 @@ import json
 import threading
 from typing import Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
@@ -110,23 +112,26 @@ class Histogram:
             self.bucket_counts[-1] += 1
 
     def observe_many(self, values: Sequence[Union[int, float]]) -> None:
-        """Record a batch (one lock acquisition per value is wasteful for
-        the perf-lab's per-rep timing lists)."""
-        vals = [float(v) for v in values]
-        if not vals:
+        """Record a batch under one lock, bucketed vectorially.
+
+        ``searchsorted`` against the sorted bounds reproduces the scalar
+        path's ``v <= bound`` rule exactly (overflow lands past the last
+        bound, i.e. in the +inf bucket), which is what lets the replay
+        harness stream millions of latencies without a Python-level loop.
+        """
+        vals = np.asarray(values if hasattr(values, "__len__") else list(values), dtype=float)
+        if vals.size == 0:
             return
+        idx = np.searchsorted(np.asarray(self.buckets), vals, side="left")
+        per_bucket = np.bincount(idx, minlength=len(self.buckets) + 1)
         with self._lock:
-            for v in vals:
-                self.count += 1
-                self.sum += v
-                self.min = v if self.min is None else min(self.min, v)
-                self.max = v if self.max is None else max(self.max, v)
-                for i, bound in enumerate(self.buckets):
-                    if v <= bound:
-                        self.bucket_counts[i] += 1
-                        break
-                else:
-                    self.bucket_counts[-1] += 1
+            self.count += int(vals.size)
+            self.sum += float(vals.sum())
+            lo, hi = float(vals.min()), float(vals.max())
+            self.min = lo if self.min is None else min(self.min, lo)
+            self.max = hi if self.max is None else max(self.max, hi)
+            for i, n in enumerate(per_bucket):
+                self.bucket_counts[i] += int(n)
 
     @property
     def mean(self) -> float:
@@ -169,6 +174,18 @@ class Histogram:
             "buckets": list(self.buckets),
             "bucket_counts": list(self.bucket_counts),
         }
+
+    @classmethod
+    def from_dict(cls, name: str, blob: dict) -> "Histogram":
+        """Rehydrate from :meth:`as_dict` output (snapshot/JSONL lines), so
+        archived registries answer the same quantile questions live ones do."""
+        h = cls(name, blob["buckets"])
+        h.bucket_counts = [int(n) for n in blob["bucket_counts"]]
+        h.count = int(blob["count"])
+        h.sum = float(blob["sum"])
+        h.min = None if blob.get("min") is None else float(blob["min"])
+        h.max = None if blob.get("max") is None else float(blob["max"])
+        return h
 
 
 class MetricsRegistry:

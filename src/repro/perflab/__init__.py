@@ -54,6 +54,7 @@ __all__ = [
     "run_inspector_benchmarks",
     "markdown_report",
     "html_report",
+    "sparkline",
     "perf_main",
 ]
 
@@ -85,6 +86,7 @@ _HOMES = {
     "run_inspector_benchmarks": "bench",
     "markdown_report": "report",
     "html_report": "report",
+    "sparkline": "report",
     "perf_main": "cli",
 }
 

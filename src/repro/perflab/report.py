@@ -17,7 +17,7 @@ from .fingerprint import PERF_SCHEMA_VERSION
 from .history import HistoryStore
 from .protocol import Observation
 
-__all__ = ["markdown_report", "html_report"]
+__all__ = ["markdown_report", "html_report", "sparkline"]
 
 
 def _fmt_s(seconds: Optional[float]) -> str:
@@ -130,8 +130,13 @@ svg.spark { vertical-align: middle; }
 """
 
 
-def _sparkline(values: Sequence[float], *, width: int = 140, height: int = 28) -> str:
-    """Inline SVG polyline of a median trajectory (last point emphasised)."""
+def sparkline(values: Sequence[float], *, width: int = 140, height: int = 28) -> str:
+    """Inline SVG polyline of a value trajectory (last point emphasised).
+
+    Public because the service dashboard
+    (:mod:`repro.observability.dashboard`) draws its metric time-series
+    with the same self-contained SVG — one renderer, two reports.
+    """
     pts = [v for v in values if v is not None]
     if len(pts) < 2:
         return '<span class="muted">n/a</span>'
@@ -199,7 +204,7 @@ def html_report(
                 vcell = f"unchanged {t.rel_shift:+.1%}"
         parts.append(
             f"<tr><td>{esc(label)}</td><td><code>{esc(digest)}</code></td>"
-            f"<td class='num'>{len(seq)}</td><td>{_sparkline(medians)}</td>"
+            f"<td class='num'>{len(seq)}</td><td>{sparkline(medians)}</td>"
             f"<td class='num'>{_fmt_s(st.statistic if st else None)}</td>"
             f"<td class='num'>[{_fmt_s(st.lo if st else None)}, "
             f"{_fmt_s(st.hi if st else None)}]</td>"

@@ -43,6 +43,7 @@ from ..core.schedule_cache import ScheduleCache, schedule_key
 from ..graph.dag import DAG
 from ..observability.state import STATE as _OBS_STATE
 from ..observability.state import current_tracer
+from ..observability.telemetry import FANIN_BUCKETS, LATENCY_BUCKETS, RequestContext
 from ..resilience.degrade import inspect_with_fallback
 from ..resilience.faults import FaultError, fault_point
 from ..resilience.retry import RetryExhausted, retry_with_backoff
@@ -169,14 +170,20 @@ class BrokerStats:
 
 
 class _Flight:
-    """Single-flight rendezvous: the leader publishes, followers wait."""
+    """Single-flight rendezvous: the leader publishes, followers wait.
 
-    __slots__ = ("done", "result", "error")
+    ``followers`` is incremented under the broker's flights lock while
+    the flight is still registered, so by the time the leader publishes
+    (after deregistering) it is the final fan-in minus the leader.
+    """
+
+    __slots__ = ("done", "result", "error", "followers")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.result: Optional[ServeResult] = None
         self.error: Optional[BaseException] = None
+        self.followers = 0
 
 
 class ScheduleBroker:
@@ -266,8 +273,29 @@ class ScheduleBroker:
         return True
 
     # ------------------------------------------------------------------
-    def request(self, req: ServeRequest) -> ServeResult:
+    # telemetry helpers — all dormant behind the ambient switch
+    def _observe_latency(self, tier: Optional[str], outcome: str, seconds: float) -> None:
+        if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+            reg = _OBS_STATE.registry
+            if tier is not None:
+                reg.histogram(f"service.latency.tier.{tier}", LATENCY_BUCKETS).observe(seconds)
+            reg.histogram(f"service.latency.outcome.{outcome}", LATENCY_BUCKETS).observe(seconds)
+
+    def _count_metric(self, name: str) -> None:
+        if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+            _OBS_STATE.registry.counter(f"service.{name}").inc()
+
+    # ------------------------------------------------------------------
+    def request(
+        self, req: ServeRequest, *, telemetry: Optional[RequestContext] = None
+    ) -> ServeResult:
         """Resolve one request through memory → store → inspection.
+
+        ``telemetry`` is the front door's request envelope: its ``parent``
+        context re-parents this worker thread's spans under the request's
+        root span (the asyncio → thread handoff) and its ``t_admit`` dates
+        the retrospective ``queue_wait`` span.  Broker-only callers leave
+        it ``None`` and the broker span doubles as the request root.
 
         Raises :class:`AdmissionRejected` or :class:`DeadlineExceeded`
         (both structured); any other exception means every rung of the
@@ -277,50 +305,100 @@ class ScheduleBroker:
         t0 = self._clock()
         self._bump("requests")
         key = req.key()
-        with current_tracer().span("service.request", key=key[:12], algorithm=req.algorithm):
-            # L1 — validate hits (chaos can corrupt the cache; the harness
-            # re-validates its hits for the same reason) and invalidate on
-            # refutation so the slot heals
-            hit = self.cache.get(key)
-            if hit is not None:
-                if self._safe(hit, req.g):
-                    self._bump("memory_hits")
-                    return ServeResult(
-                        key=key, schedule=hit, source="memory",
-                        algorithm=hit.algorithm, requested=req.algorithm,
-                        seconds=self._clock() - t0,
-                    )
-                self.cache.invalidate(key)
-
-            # single-flight: exactly one thread leads each key
-            with self._flights_lock:
-                flight = self._flights.get(key)
-                if flight is None:
-                    flight = _Flight()
-                    self._flights[key] = flight
-                    leader = True
-                else:
-                    leader = False
-
-            if not leader:
-                return self._follow(req, key, flight, t0)
-
-            try:
-                result = self._lead(req, key, t0)
-                flight.result = result
+        tracer = current_tracer()
+        parent = telemetry.parent if telemetry is not None else None
+        with tracer.attach(parent):
+            if telemetry is not None and tracer.enabled:
+                # the executor queue wait ends now, on this thread — record
+                # it retrospectively as the broker span's elder sibling
+                now = tracer.clock()
+                tracer.record_span(
+                    "service.queue_wait", telemetry.t_admit, now,
+                    parent=parent, request_id=telemetry.request_id,
+                )
+                if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                    _OBS_STATE.registry.histogram(
+                        "service.queue_wait_seconds", LATENCY_BUCKETS
+                    ).observe(now - telemetry.t_admit)
+            span = tracer.span("service.broker", key=key[:12], algorithm=req.algorithm)
+            with span:
+                if telemetry is not None:
+                    span.annotate(request_id=telemetry.request_id)
+                try:
+                    result = self._resolve(req, key, t0, span)
+                except AdmissionRejected:
+                    span.annotate(outcome="shed")
+                    self._count_metric("sheds.broker")
+                    self._observe_latency(None, "shed", self._clock() - t0)
+                    raise
+                except DeadlineExceeded:
+                    span.annotate(outcome="deadline")
+                    self._count_metric("deadline_misses")
+                    self._observe_latency(None, "deadline", self._clock() - t0)
+                    raise
+                span.annotate(outcome=result.source, degraded=result.degraded)
+                self._observe_latency(
+                    result.source,
+                    "degraded" if result.degraded else "ok",
+                    result.seconds,
+                )
                 return result
-            except BaseException as exc:
-                flight.error = exc
-                raise
-            finally:
-                with self._flights_lock:
-                    self._flights.pop(key, None)
-                flight.done.set()
+
+    def _resolve(self, req: ServeRequest, key: str, t0: float, bspan) -> ServeResult:
+        tracer = current_tracer()
+        # L1 — validate hits (chaos can corrupt the cache; the harness
+        # re-validates its hits for the same reason) and invalidate on
+        # refutation so the slot heals
+        with tracer.span("service.memory"):
+            hit = self.cache.get(key)
+        if hit is not None:
+            with tracer.span("service.verify", tier="memory"):
+                ok = self._safe(hit, req.g)
+            if ok:
+                self._bump("memory_hits")
+                return ServeResult(
+                    key=key, schedule=hit, source="memory",
+                    algorithm=hit.algorithm, requested=req.algorithm,
+                    seconds=self._clock() - t0,
+                )
+            self.cache.invalidate(key)
+
+        # single-flight: exactly one thread leads each key
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                flight.followers += 1
+                leader = False
+
+        if not leader:
+            return self._follow(req, key, flight, t0)
+
+        try:
+            result = self._lead(req, key, t0, bspan)
+            flight.result = result
+            return result
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                _OBS_STATE.registry.histogram(
+                    "service.coalesce_fanin", FANIN_BUCKETS
+                ).observe(flight.followers + 1)
+            flight.done.set()
 
     # ------------------------------------------------------------------
     def _follow(self, req: ServeRequest, key: str, flight: _Flight, t0: float) -> ServeResult:
         remaining = self._remaining(req, t0)
-        if not flight.done.wait(timeout=remaining):
+        with current_tracer().span("service.coalesce_wait", key=key[:12]):
+            done = flight.done.wait(timeout=remaining)
+        if not done:
             self._bump("rejected")
             raise DeadlineExceeded(
                 f"deadline of {req.deadline:.3f}s expired waiting for the in-flight "
@@ -343,26 +421,30 @@ class ScheduleBroker:
         )
 
     # ------------------------------------------------------------------
-    def _lead(self, req: ServeRequest, key: str, t0: float) -> ServeResult:
+    def _lead(self, req: ServeRequest, key: str, t0: float, bspan) -> ServeResult:
+        tracer = current_tracer()
         # L2 — transient read errors are retried with backoff; quarantined
         # or absent records come back as a plain miss (None)
         if self.store is not None:
             def read():
                 return self.store.get(key)
 
-            try:
-                stored = retry_with_backoff(
-                    read,
-                    retries=self.store_retries,
-                    base_delay=self.retry_base_delay,
-                    retry_on=(OSError, StoreError),
-                    sleep=self._sleep,
-                    on_retry=lambda n, exc: self._bump("retries"),
-                )
-            except RetryExhausted:
-                stored = None  # store down: keep serving via inspection
+            with tracer.span("service.store.read", key=key[:12]):
+                try:
+                    stored = retry_with_backoff(
+                        read,
+                        retries=self.store_retries,
+                        base_delay=self.retry_base_delay,
+                        retry_on=(OSError, StoreError),
+                        sleep=self._sleep,
+                        on_retry=lambda n, exc: self._bump("retries"),
+                    )
+                except RetryExhausted:
+                    stored = None  # store down: keep serving via inspection
             if stored is not None:
-                if self._safe(stored, req.g):
+                with tracer.span("service.verify", tier="store"):
+                    safe = self._safe(stored, req.g)
+                if safe:
                     self.cache.put(key, stored)
                     self._bump("store_hits")
                     return ServeResult(
@@ -372,6 +454,7 @@ class ScheduleBroker:
                     )
                 # decodes fine but unsafe for this DAG (e.g. foreign or
                 # stale record under a colliding key): never serve it
+                bspan.annotate(quarantined=True)
                 self.store.quarantine_key(key, "failed assert_schedule_safe for request DAG")
 
         # admission control: bound the expensive path, shed the excess
@@ -404,30 +487,38 @@ class ScheduleBroker:
                     backend=req.backend,
                 )
 
-            outcome = retry_with_backoff(
-                work,
-                retries=self.store_retries,
-                base_delay=self.retry_base_delay,
-                retry_on=(FaultError, OSError),
-                sleep=self._sleep,
-                on_retry=lambda n, exc: self._bump("retries"),
-            )
+            with tracer.span("service.inspect", algorithm=req.algorithm):
+                outcome = retry_with_backoff(
+                    work,
+                    retries=self.store_retries,
+                    base_delay=self.retry_base_delay,
+                    retry_on=(FaultError, OSError),
+                    sleep=self._sleep,
+                    on_retry=lambda n, exc: self._bump("retries"),
+                )
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
 
         if outcome.degraded:
             self._bump("degraded")
+            tracer.instant(
+                "service.degrade",
+                requested=req.algorithm,
+                served=outcome.algorithm,
+                degraded_from=outcome.degraded_from,
+            )
         # write-through, best effort: persistence failures (including
         # injected store faults) must not fail a request that holds a
         # perfectly good schedule — degraded schedules are not persisted,
         # matching the harness's never-cache-degraded rule
         if self.store is not None and not outcome.degraded:
-            try:
-                self.store.put(key, outcome.schedule)
-            except Exception:
-                if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
-                    _OBS_STATE.registry.counter("service.store_write_errors").inc()
+            with tracer.span("service.store.write", key=key[:12]):
+                try:
+                    self.store.put(key, outcome.schedule)
+                except Exception:
+                    if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                        _OBS_STATE.registry.counter("service.store_write_errors").inc()
         self.cache.put(key, outcome.schedule)
         self._bump("inspected")
         return ServeResult(

@@ -10,11 +10,18 @@ Subcommands::
                      record (bad ones are quarantined, stale manifests
                      repaired) — run after a crash or before blessing a
                      store for serving
+    service stats    print the service summary (counters, tier/outcome
+                     latency quantiles, store health) from a telemetry
+                     directory's metric snapshots
+    service dash     render the self-contained HTML dashboard from a
+                     telemetry directory
 
 Examples::
 
     hdagg-bench service replay --requests 500 --structures 6 --store /tmp/sched-store
-    hdagg-bench service replay --history svc.jsonl --trajectory BENCH_trajectory.json
+    hdagg-bench service replay --telemetry-dir /tmp/svc-telemetry --requests 400
+    hdagg-bench service stats /tmp/svc-telemetry
+    hdagg-bench service dash /tmp/svc-telemetry -o dashboard.html
     hdagg-bench service audit /tmp/sched-store --strict
 """
 
@@ -57,6 +64,21 @@ def build_service_parser() -> argparse.ArgumentParser:
                           "(requires --history)")
     rep.add_argument("--json", dest="json_out", default=None,
                      help="write the full report as JSON")
+    rep.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                     help="run with request telemetry on and write the span "
+                          "trace, metric snapshots, Prometheus text, and "
+                          "report into DIR")
+
+    st = sub.add_parser("stats", help="print the service summary from telemetry")
+    st.add_argument("telemetry_dir", help="directory holding metrics.jsonl")
+    st.add_argument("--json", dest="json_out", default=None,
+                    help="write the structured summary as JSON")
+
+    dash = sub.add_parser("dash", help="render the HTML service dashboard")
+    dash.add_argument("telemetry_dir", help="directory holding metrics.jsonl")
+    dash.add_argument("-o", "--out", default=None,
+                      help="output path (default: <dir>/dashboard.html)")
+    dash.add_argument("--title", default="Service dashboard")
 
     aud = sub.add_parser("audit", help="validate every record of a schedule store")
     aud.add_argument("store", help="store directory")
@@ -68,7 +90,12 @@ def build_service_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_replay(args) -> int:
-    from .replay import ReplayConfig, record_replay, run_replay
+    from .replay import (
+        ReplayConfig,
+        record_replay,
+        run_replay,
+        run_replay_with_telemetry,
+    )
 
     config = ReplayConfig(
         n_requests=args.requests,
@@ -85,7 +112,15 @@ def _cmd_replay(args) -> int:
         arrival_rate=args.rate,
         store_root=args.store,
     )
-    report = run_replay(config)
+    if args.telemetry_dir:
+        report, _tracer, _registry = run_replay_with_telemetry(
+            config, args.telemetry_dir
+        )
+        print(f"# telemetry written to {args.telemetry_dir} "
+              "(spans.jsonl trace.json metrics.jsonl metrics.prom replay.json)",
+              file=sys.stderr)
+    else:
+        report = run_replay(config)
     print(f"# replay: {report.n_ok}/{config.n_requests} served, "
           f"{report.n_rejected} shed, {report.n_degraded} degraded", file=sys.stderr)
     print(f"p50_ms   {report.p50 * 1e3:10.3f}")
@@ -107,6 +142,42 @@ def _cmd_replay(args) -> int:
             json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from pathlib import Path
+
+    from ..observability.dashboard import format_stats, service_summary
+    from ..observability.telemetry import load_snapshots
+
+    metrics_path = Path(args.telemetry_dir) / "metrics.jsonl"
+    if not metrics_path.exists():
+        print(f"# {metrics_path}: no metric snapshots", file=sys.stderr)
+        return 2
+    snapshots = load_snapshots(metrics_path)
+    if not snapshots:
+        print(f"# {metrics_path}: empty snapshot file", file=sys.stderr)
+        return 2
+    summary = service_summary(snapshots[-1].get("metrics", {}))
+    sys.stdout.write(format_stats(summary))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    from ..observability.dashboard import render_dashboard
+
+    try:
+        out = render_dashboard(args.telemetry_dir, args.out, title=args.title)
+    except FileNotFoundError as exc:
+        print(f"# {exc}", file=sys.stderr)
+        return 2
+    print(f"# wrote {out}", file=sys.stderr)
     return 0
 
 
@@ -138,6 +209,10 @@ def service_main(argv: Optional[List[str]] = None) -> int:
     args = build_service_parser().parse_args(argv)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
     return _cmd_audit(args)
 
 

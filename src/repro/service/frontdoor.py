@@ -23,11 +23,22 @@ inspection bound.
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Sequence, Union
 
-from .broker import AdmissionRejected, ScheduleBroker, ServeRequest, ServeResult
+from ..observability.state import STATE as _OBS_STATE
+from ..observability.state import current_tracer
+from ..observability.telemetry import REQUEST_SPAN, RequestContext, next_request_id
+from .broker import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ScheduleBroker,
+    ServeRequest,
+    ServeResult,
+    ServiceRejected,
+)
 
 __all__ = ["FrontDoor"]
 
@@ -71,22 +82,59 @@ class FrontDoor:
             return self._pending
 
     async def submit(self, req: ServeRequest) -> ServeResult:
-        """Serve one request, shedding immediately when over capacity."""
+        """Serve one request, shedding immediately when over capacity.
+
+        With the ambient observability switch on, each submission opens a
+        request-root span on the event loop (a manual span — ``with``
+        nesting cannot hold across ``await`` without interleaving tasks)
+        and hands a :class:`RequestContext` to the broker so the worker
+        thread's spans parent under it.  The root span is tagged with the
+        structured outcome: the hit tier, ``shed``, or ``deadline``.
+        """
         if self._closed:
             raise RuntimeError("front door is closed")
-        with self._pending_lock:
-            if self._pending >= self.max_pending:
-                raise AdmissionRejected(
-                    f"{self._pending} requests pending (capacity {self.max_pending})",
-                    pending=self._pending, capacity=self.max_pending,
-                )
-            self._pending += 1
+        tracer = current_tracer()
+        span = None
+        call = self.broker.request
+        if tracer.enabled:
+            rid = next_request_id()
+            span = tracer.begin(
+                REQUEST_SPAN, request_id=rid,
+                algorithm=req.algorithm, kernel=req.kernel,
+            )
+            ctx = RequestContext(
+                request_id=rid, parent=span.context, t_admit=tracer.clock()
+            )
+            call = functools.partial(self.broker.request, telemetry=ctx)
         try:
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(self._pool, self.broker.request, req)
-        finally:
             with self._pending_lock:
-                self._pending -= 1
+                if self._pending >= self.max_pending:
+                    if span is not None:
+                        span.annotate(outcome="shed", shed_at="frontdoor")
+                    if _OBS_STATE.enabled and _OBS_STATE.registry is not None:
+                        _OBS_STATE.registry.counter("service.sheds.frontdoor").inc()
+                    raise AdmissionRejected(
+                        f"{self._pending} requests pending (capacity {self.max_pending})",
+                        pending=self._pending, capacity=self.max_pending,
+                    )
+                self._pending += 1
+            try:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(self._pool, call, req)
+                if span is not None:
+                    span.annotate(outcome=result.source, degraded=result.degraded)
+                return result
+            except ServiceRejected as exc:
+                if span is not None:
+                    outcome = "deadline" if isinstance(exc, DeadlineExceeded) else "shed"
+                    span.annotate(outcome=outcome)
+                raise
+            finally:
+                with self._pending_lock:
+                    self._pending -= 1
+        finally:
+            if span is not None:
+                span.end()
 
     async def submit_many(
         self, requests: Sequence[ServeRequest]

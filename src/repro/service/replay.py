@@ -14,9 +14,18 @@ first-class series: **p50/p99 latency** over successful requests and the
 **cache hit rate** (requests served without a fresh inspection).
 :func:`record_replay` turns a report into a perf-lab
 :class:`~repro.perflab.protocol.Observation` (benchmark
-``service_replay``; p50/p99/hit-rate ride in the stage channel so the
-trajectory's ``stage_medians`` surfaces them) and merges it into the
-repo's ``BENCH_trajectory.json`` without disturbing the inspector series.
+``service_replay``; p50/p99/hit-rate — plus per-tier p50/p99/share
+channels — ride in the stage channel so the trajectory's
+``stage_medians`` surfaces them) and merges it into the repo's
+``BENCH_trajectory.json`` without disturbing the inspector series.
+
+Latency aggregation is *streaming*: per-request latencies land in shared
+:class:`~repro.observability.metrics.Histogram` instances (overall and
+per resolution tier) plus a fixed-size seeded reservoir sample for the
+perf-lab's bootstrap stats — memory stays bounded no matter how many
+requests replay, which is what the roadmap's millions-of-requests regime
+needs (``benchmarks/smoke_telemetry.py`` gates it at 10⁶ synthetic
+requests).
 
 Everything is seeded — two replays with the same config produce the same
 request sequence, which is what lets the CI smoke gate on it.
@@ -28,12 +37,20 @@ import asyncio
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..graph.dag import DAG
 from ..kernels import KERNELS
+from ..observability.metrics import Histogram, MetricsRegistry
+from ..observability.spans import Tracer
+from ..observability.state import observed
+from ..observability.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsSnapshotter,
+    validate_request_trees,
+)
 from ..perflab.fingerprint import collect_fingerprint
 from ..perflab.history import HistoryStore, load_trajectory, write_trajectory
 from ..perflab.protocol import Observation, ObservationKey
@@ -43,14 +60,67 @@ from .broker import ScheduleBroker, ServeRequest, ServiceRejected
 from .frontdoor import FrontDoor
 
 __all__ = [
+    "LatencyReservoir",
     "ReplayConfig",
     "ReplayReport",
     "build_catalog",
     "zipf_weights",
     "run_replay",
+    "run_replay_with_telemetry",
     "replay_observation",
     "record_replay",
 ]
+
+
+class LatencyReservoir:
+    """Seeded fixed-size uniform sample over an unbounded stream.
+
+    Vitter's algorithm R: the first ``cap`` values are kept, after which
+    each new value replaces a random slot with probability ``cap/seen``.
+    The result is a uniform sample of everything observed, in O(cap)
+    memory — what lets :func:`replay_observation` keep feeding real
+    latency samples to the perf-lab bootstrap after the per-request list
+    was removed.  Seeded, so a replay's sample is reproducible.
+    """
+
+    __slots__ = ("cap", "seen", "values", "_rng")
+
+    def __init__(self, cap: int = 4096, seed: int = 0) -> None:
+        if cap < 1:
+            raise ValueError("reservoir cap must be >= 1")
+        self.cap = cap
+        self.seen = 0
+        self.values: List[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self.values) < self.cap:
+            self.values.append(float(value))
+            return
+        j = int(self._rng.integers(0, self.seen))
+        if j < self.cap:
+            self.values[j] = float(value)
+
+    def add_many(self, values: Union[np.ndarray, List[float]]) -> None:
+        vals = np.asarray(values, dtype=float)
+        n = int(vals.size)
+        if n == 0:
+            return
+        head = max(0, min(self.cap - len(self.values), n))
+        if head:
+            self.values.extend(float(v) for v in vals[:head])
+            self.seen += head
+        if head == n:
+            return
+        # vectorised replacement draws: slot j ~ U[0, seen) per value
+        tail = vals[head:]
+        seen = self.seen + np.arange(1, tail.size + 1)
+        slots = (self._rng.random(tail.size) * seen).astype(np.int64)
+        self.seen += int(tail.size)
+        hits = np.nonzero(slots < self.cap)[0]
+        for i in hits:
+            self.values[int(slots[i])] = float(tail[int(i)])
 
 
 @dataclass
@@ -80,25 +150,74 @@ class ReplayConfig:
 
 @dataclass
 class ReplayReport:
-    """What one replay run measured."""
+    """What one replay run measured (streaming — O(1) per request).
+
+    Latencies are aggregated into the shared
+    :class:`~repro.observability.metrics.Histogram` (overall plus one per
+    resolution tier) and a seeded :class:`LatencyReservoir`; quantiles
+    are bucket-interpolated, so ``p50``/``p99`` no longer require a
+    retained per-request list.
+    """
 
     config: ReplayConfig
-    latencies: List[float] = field(default_factory=list)
+    latency: Histogram = field(
+        default_factory=lambda: Histogram("replay.latency", LATENCY_BUCKETS)
+    )
+    tier_latency: Dict[str, Histogram] = field(default_factory=dict)
+    sample: Optional[LatencyReservoir] = None
+    n_ok: int = 0
     sources: Dict[str, int] = field(default_factory=dict)
     n_rejected: int = 0
     n_degraded: int = 0
     hit_rate: float = 0.0
     wall_seconds: float = 0.0
 
-    @property
-    def n_ok(self) -> int:
-        return len(self.latencies)
+    def __post_init__(self) -> None:
+        if self.sample is None:
+            self.sample = LatencyReservoir(seed=self.config.seed)
+
+    def observe(self, source: str, seconds: float) -> None:
+        """Record one successful request served from ``source``."""
+        self.n_ok += 1
+        self.latency.observe(seconds)
+        hist = self.tier_latency.get(source)
+        if hist is None:
+            hist = self.tier_latency[source] = Histogram(
+                f"replay.latency.{source}", LATENCY_BUCKETS
+            )
+        hist.observe(seconds)
+        assert self.sample is not None
+        self.sample.add(seconds)
+        self.sources[source] = self.sources.get(source, 0) + 1
+
+    def observe_many(self, source: str, seconds: Union[np.ndarray, List[float]]) -> None:
+        """Bulk-record latencies (the memory-bounded smoke's entry point)."""
+        vals = np.asarray(seconds, dtype=float)
+        if vals.size == 0:
+            return
+        self.n_ok += int(vals.size)
+        self.latency.observe_many(vals)
+        hist = self.tier_latency.get(source)
+        if hist is None:
+            hist = self.tier_latency[source] = Histogram(
+                f"replay.latency.{source}", LATENCY_BUCKETS
+            )
+        hist.observe_many(vals)
+        assert self.sample is not None
+        self.sample.add_many(vals)
+        self.sources[source] = self.sources.get(source, 0) + int(vals.size)
 
     def quantile(self, q: float) -> float:
         """Latency quantile over successful requests (0 when none)."""
-        if not self.latencies:
+        v = self.latency.quantile(q)
+        return float(v) if v is not None else 0.0
+
+    def tier_quantile(self, source: str, q: float) -> float:
+        hist = self.tier_latency.get(source)
+        if hist is None:
             return 0.0
-        return float(np.quantile(np.asarray(self.latencies), q))
+        v = hist.quantile(q)
+        return float(v) if v is not None else 0.0
 
     @property
     def p50(self) -> float:
@@ -124,6 +243,14 @@ class ReplayReport:
             "p50_seconds": self.p50,
             "p99_seconds": self.p99,
             "wall_seconds": self.wall_seconds,
+            "tiers": {
+                src: {
+                    "count": self.sources.get(src, 0),
+                    "p50_seconds": self.tier_quantile(src, 0.50),
+                    "p99_seconds": self.tier_quantile(src, 0.99),
+                }
+                for src in sorted(self.tier_latency)
+            },
         }
 
 
@@ -175,8 +302,7 @@ async def _drive(
         except ServiceRejected:
             report.n_rejected += 1
             return
-        report.latencies.append(time.perf_counter() - t0)
-        report.sources[result.source] = report.sources.get(result.source, 0) + 1
+        report.observe(result.source, time.perf_counter() - t0)
         if result.degraded:
             report.n_degraded += 1
 
@@ -220,13 +346,62 @@ def run_replay(config: ReplayConfig) -> ReplayReport:
     return report
 
 
+def run_replay_with_telemetry(
+    config: ReplayConfig,
+    out_dir: str,
+    *,
+    snapshot_interval: float = 0.5,
+) -> Tuple[ReplayReport, Tracer, MetricsRegistry]:
+    """Replay with the ambient observability switch on, archiving artifacts.
+
+    Writes into ``out_dir``: ``spans.jsonl`` (raw span log),
+    ``trace.json`` (Chrome/Perfetto ``trace_event`` with cross-thread
+    handoff arrows), ``metrics.jsonl`` (periodic registry snapshots),
+    ``metrics.prom`` (Prometheus text exposition), and ``replay.json``
+    (the report plus the span-tree validation verdict) — everything
+    ``hdagg-bench service stats|dash`` consumes.
+    """
+    import json as _json
+
+    from ..observability.export import (
+        write_chrome_trace,
+        write_prometheus,
+        write_spans_jsonl,
+    )
+
+    os.makedirs(out_dir, exist_ok=True)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    snap = MetricsSnapshotter(
+        registry, os.path.join(out_dir, "metrics.jsonl"), interval=snapshot_interval
+    )
+    with observed(tracer, registry):
+        snap.start()
+        try:
+            report = run_replay(config)
+        finally:
+            snap.stop()
+    spans = tracer.spans
+    write_spans_jsonl(spans, os.path.join(out_dir, "spans.jsonl"))
+    write_chrome_trace(os.path.join(out_dir, "trace.json"), spans, label="service replay")
+    write_prometheus(os.path.join(out_dir, "metrics.prom"), registry.as_dict())
+    problems = validate_request_trees(spans)
+    doc = {"report": report.as_dict(), "span_problems": problems}
+    with open(os.path.join(out_dir, "replay.json"), "w", encoding="utf-8") as fh:
+        _json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return report, tracer, registry
+
+
 def replay_observation(report: ReplayReport, *, note: str = "") -> Observation:
     """Lift a replay report into a perf-lab observation.
 
-    ``timings`` are the per-request latencies (the protocol's bootstrap
-    stats then describe the latency distribution); p50/p99/hit-rate ride
-    in the stage channel, where the trajectory snapshot surfaces them as
-    ``stage_medians``.
+    ``timings`` are the reservoir's latency sample (the protocol's
+    bootstrap stats then describe the latency distribution); p50/p99/
+    hit-rate ride in the stage channel — joined by per-tier
+    ``tier/<source>/p50|p99|share`` channels so a ``service_replay``
+    regression names the tier that moved — where the trajectory snapshot
+    surfaces them as ``stage_medians``.
     """
     cfg = report.config
     key = ObservationKey(
@@ -235,14 +410,21 @@ def replay_observation(report: ReplayReport, *, note: str = "") -> Observation:
         kernel=cfg.kernel,
         algorithm=cfg.algorithm,
     )
+    stages: Dict[str, List[float]] = {
+        "p50": [report.p50],
+        "p99": [report.p99],
+        "hit_rate": [report.hit_rate],
+    }
+    for src in sorted(report.tier_latency):
+        stages[f"tier/{src}/p50"] = [report.tier_quantile(src, 0.50)]
+        stages[f"tier/{src}/p99"] = [report.tier_quantile(src, 0.99)]
+        share = report.sources.get(src, 0) / report.n_ok if report.n_ok else 0.0
+        stages[f"tier/{src}/share"] = [share]
+    assert report.sample is not None
     return Observation(
         key=key,
-        timings=list(report.latencies),
-        stages={
-            "p50": [report.p50],
-            "p99": [report.p99],
-            "hit_rate": [report.hit_rate],
-        },
+        timings=list(report.sample.values),
+        stages=stages,
         fingerprint=collect_fingerprint(benchmark="service_replay"),
         warmup=0,
         target_rel_ci=0.0,

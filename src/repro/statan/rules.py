@@ -1,4 +1,4 @@
-"""The project's lint rules (``L001``–``L008``).
+"""The project's lint rules (``L001``–``L009``).
 
 Each rule machine-checks one discipline the repo's docs state in prose.
 The rules are deliberately conservative: they flag the idioms the
@@ -15,6 +15,7 @@ L005    no wall-clock or unseeded RNG in inspector code (core/graph)
 L006    ``RunRecord``'s public schema is frozen; new fields need defaults
 L007    pass bodies never mutate artifacts read from the context
 L008    suppression markers must name rule ids (no blanket ignores)
+L009    registry metric names come from the closed telemetry catalog
 ======  ==============================================================
 """
 
@@ -431,6 +432,74 @@ class SuppressionHygiene(AstRule):
                     )
 
 
+class MetricNameInCatalog(AstRule):
+    """L009: registry metric names come from the closed telemetry catalog.
+
+    ``<registry>.counter/gauge/histogram(name, ...)`` call sites are the
+    write side of the metric contract DESIGN.md §15 pins: every name a
+    dashboard, exporter, or alert might read is declared in
+    :func:`repro.observability.telemetry.metric_catalog`.  String
+    literals are checked exactly; f-strings must open with a literal
+    prefix from one of the registered open families
+    (``FSTRING_NAME_PREFIXES`` / ``METRIC_NAME_PREFIXES``); fully
+    dynamic names are left to the runtime drift check
+    (:func:`~repro.observability.telemetry.catalog_violations`), which
+    the telemetry smoke runs over every registry it touches.
+    """
+
+    id = "L009"
+    description = "registry metric names must be declared in the telemetry catalog"
+    scope = ("src/repro",)
+    exclude = ("src/repro/observability/metrics.py",)
+    hint = (
+        "declare the name in repro.observability.telemetry.metric_catalog() "
+        "(or register its family prefix in FSTRING_NAME_PREFIXES) so the "
+        "exported metric set stays closed and documented"
+    )
+
+    _FACTORIES = {"counter", "gauge", "histogram"}
+
+    def check(self, unit: ModuleUnit) -> Iterator[Diagnostic]:
+        from ..observability.telemetry import (
+            FSTRING_NAME_PREFIXES,
+            METRIC_NAME_PREFIXES,
+            metric_catalog,
+        )
+
+        catalog = metric_catalog()
+        open_prefixes = tuple(METRIC_NAME_PREFIXES)
+        fstring_prefixes = tuple(FSTRING_NAME_PREFIXES) + open_prefixes
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) < 2 or chain[-1] not in self._FACTORIES:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                if name not in catalog and not name.startswith(open_prefixes):
+                    yield unit.diagnostic(
+                        self,
+                        node,
+                        f"metric {name!r} is not declared in metric_catalog()",
+                    )
+            elif isinstance(arg, ast.JoinedStr):
+                head = arg.values[0] if arg.values else None
+                literal = (
+                    head.value
+                    if isinstance(head, ast.Constant) and isinstance(head.value, str)
+                    else ""
+                )
+                if not literal or not literal.startswith(fstring_prefixes):
+                    yield unit.diagnostic(
+                        self,
+                        node,
+                        "f-string metric name does not open with a registered "
+                        f"family prefix (literal head {literal!r})",
+                    )
+
+
 #: the full rule set, id order
 ALL_RULES: Tuple[object, ...] = (
     FaultSiteRegistered(),
@@ -441,4 +510,5 @@ ALL_RULES: Tuple[object, ...] = (
     RunRecordDormantDefaults(),
     NoPassInputMutation(),
     SuppressionHygiene(),
+    MetricNameInCatalog(),
 )

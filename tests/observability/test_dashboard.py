@@ -1,0 +1,121 @@
+"""Service dashboard: summary extraction, text stats, self-contained HTML."""
+
+import pytest
+
+from repro.observability.dashboard import (
+    dashboard_html,
+    format_stats,
+    render_dashboard,
+    service_summary,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.telemetry import FANIN_BUCKETS, LATENCY_BUCKETS, MetricsSnapshotter
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("service.requests").inc(10)
+    reg.counter("service.memory_hits").inc(7)
+    reg.counter("service.inspected").inc(3)
+    reg.counter("service.sheds.frontdoor").inc(2)
+    for v in (0.001, 0.002, 0.004):
+        reg.histogram("service.latency.tier.memory", LATENCY_BUCKETS).observe(v)
+    reg.histogram("service.latency.tier.inspected", LATENCY_BUCKETS).observe(0.05)
+    reg.histogram("service.latency.outcome.ok", LATENCY_BUCKETS).observe(0.002)
+    reg.histogram("service.queue_wait_seconds", LATENCY_BUCKETS).observe(0.01)
+    reg.histogram("service.coalesce_fanin", FANIN_BUCKETS).observe(3)
+    reg.counter("store.hits").inc(4)
+    reg.counter("store.evictions").inc(1)
+    reg.gauge("store.quarantine_count").set(0)
+    reg.gauge("store.occupancy_bytes").set(4096)
+    return reg
+
+
+class TestSummary:
+    def test_summary_extracts_every_section(self):
+        summary = service_summary(_loaded_registry().as_dict())
+        assert summary["counters"]["requests"] == 10
+        assert summary["counters"]["sheds.frontdoor"] == 2
+        tiers = summary["tiers"]
+        assert tiers["memory"]["count"] == 3
+        assert tiers["memory"]["share"] == pytest.approx(0.75)
+        assert tiers["inspected"]["share"] == pytest.approx(0.25)
+        assert tiers["memory"]["p50_seconds"] == pytest.approx(0.002, rel=0.5)
+        assert summary["outcomes"]["ok"]["count"] == 1
+        assert summary["queue_wait"]["count"] == 1
+        assert summary["coalesce_fanin"]["mean"] == pytest.approx(3.0)
+        assert summary["store"]["evictions"] == 1
+        assert summary["store"]["occupancy_bytes"] == 4096
+
+    def test_empty_registry_gives_empty_summary(self):
+        summary = service_summary(MetricsRegistry().as_dict())
+        assert summary["counters"] == {}
+        assert summary["tiers"] == {}
+        assert "queue_wait" not in summary
+
+    def test_format_stats_is_readable_text(self):
+        text = format_stats(service_summary(_loaded_registry().as_dict()))
+        assert "service counters" in text
+        assert "requests" in text
+        assert "latency by tier" in text
+        assert "store health" in text
+        assert format_stats(service_summary({})) == "no service metrics recorded\n"
+
+
+class TestHtml:
+    def _snapshots(self):
+        reg = _loaded_registry()
+        first = {"seq": 0, "elapsed_s": 0.5, "metrics": reg.as_dict()}
+        reg.counter("service.requests").inc(5)
+        second = {"seq": 1, "elapsed_s": 1.0, "metrics": reg.as_dict()}
+        return [first, second]
+
+    def test_dashboard_renders_all_sections_inline(self):
+        html = dashboard_html(self._snapshots(), title="T")
+        for needle in (
+            "<title>T</title>",
+            "service.requests",
+            "Latency by tier",
+            "Latency by outcome",
+            "Store health",
+            "svg",
+            "queue wait",
+        ):
+            assert needle in html, needle
+        assert "http" not in html  # self-contained: no external fetches
+
+    def test_replay_card_shows_trace_verdict(self):
+        replay = {"report": {"n_ok": 9, "n_rejected": 1, "hit_rate": 0.7},
+                  "span_problems": []}
+        html = dashboard_html(self._snapshots(), replay=replay)
+        assert "request trees valid" in html
+        bad = dict(replay, span_problems=["r-1: broken"])
+        html = dashboard_html(self._snapshots(), replay=bad)
+        assert "1 span problems" in html
+        assert "r-1: broken" in html
+
+    def test_empty_snapshots_still_render(self):
+        html = dashboard_html([])
+        assert "0 snapshots" in html
+
+
+class TestRender:
+    def test_render_from_telemetry_dir(self, tmp_path):
+        reg = _loaded_registry()
+        snap = MetricsSnapshotter(reg, tmp_path / "metrics.jsonl", interval=60.0)
+        snap.snapshot()
+        reg.counter("service.requests").inc()
+        snap.snapshot()
+        (tmp_path / "replay.json").write_text(
+            '{"report": {"n_ok": 11, "hit_rate": 0.6}, "span_problems": []}'
+        )
+        out = render_dashboard(tmp_path, title="Replay dash")
+        assert out == tmp_path / "dashboard.html"
+        html = out.read_text()
+        assert "Replay dash" in html
+        assert "request trees valid" in html
+        assert "2 snapshots" in html
+
+    def test_missing_snapshots_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            render_dashboard(tmp_path)

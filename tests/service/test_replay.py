@@ -185,3 +185,156 @@ def test_frontdoor_loop_isolation(report):
     running loop (the CLI path) must leave asyncio clean."""
     with pytest.raises(RuntimeError):
         asyncio.get_running_loop()
+
+
+# ----------------------------------------------------------------------
+# streaming latency aggregation
+# ----------------------------------------------------------------------
+class TestStreamingLatency:
+    def test_reservoir_keeps_everything_under_cap(self):
+        from repro.service.replay import LatencyReservoir
+
+        r = LatencyReservoir(cap=16, seed=0)
+        for v in range(10):
+            r.add(float(v))
+        assert sorted(r.values) == [float(v) for v in range(10)]
+        assert r.seen == 10
+
+    def test_reservoir_stays_bounded_and_samples_the_stream(self):
+        from repro.service.replay import LatencyReservoir
+
+        r = LatencyReservoir(cap=64, seed=1)
+        r.add_many(np.arange(10_000, dtype=float))
+        assert len(r.values) == 64
+        assert r.seen == 10_000
+        # a uniform sample's mean lands near the stream mean
+        assert abs(np.mean(r.values) - 4999.5) < 1500
+
+    def test_reservoir_add_many_matches_scalar_counting(self):
+        from repro.service.replay import LatencyReservoir
+
+        bulk, scalar = LatencyReservoir(cap=8, seed=2), LatencyReservoir(cap=8, seed=2)
+        values = np.linspace(0.0, 1.0, 100)
+        bulk.add_many(values)
+        for v in values:
+            scalar.add(float(v))
+        assert bulk.seen == scalar.seen == 100
+        assert len(bulk.values) == len(scalar.values) == 8
+
+    def test_report_quantiles_come_from_the_histogram(self, report):
+        assert report.latency.count == report.n_ok
+        assert report.p50 > 0.0
+        assert report.p99 >= report.p50
+        assert set(report.tier_latency) == set(report.sources)
+        for src, hist in report.tier_latency.items():
+            assert hist.count == report.sources[src]
+
+    def test_memory_bounded_million_request_ingest(self):
+        """The roadmap's millions-of-requests regime: O(1) per request."""
+        import tracemalloc
+
+        from repro.service.replay import ReplayReport
+
+        rng = np.random.default_rng(0)
+        report = ReplayReport(config=ReplayConfig(**SMALL))
+        tracemalloc.start()
+        for _ in range(10):
+            report.observe_many("memory", rng.exponential(0.002, size=100_000))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert report.n_ok == 1_000_000
+        assert report.latency.count == 1_000_000
+        assert len(report.sample.values) == report.sample.cap
+        assert report.p99 > report.p50 > 0.0
+        # the whole ingest fits in a few MB: histograms + the reservoir,
+        # never a per-request list
+        assert peak < 32 * 1024 * 1024
+
+    def test_observe_many_matches_scalar_observe(self):
+        from repro.service.replay import ReplayReport
+
+        cfg = ReplayConfig(**SMALL)
+        bulk, scalar = ReplayReport(config=cfg), ReplayReport(config=cfg)
+        values = np.linspace(1e-4, 1e-2, 500)
+        bulk.observe_many("memory", values)
+        for v in values:
+            scalar.observe("memory", float(v))
+        assert bulk.n_ok == scalar.n_ok
+        assert bulk.latency.bucket_counts == scalar.latency.bucket_counts
+        assert bulk.sources == scalar.sources
+
+
+# ----------------------------------------------------------------------
+# telemetry replay artifacts
+# ----------------------------------------------------------------------
+class TestTelemetryReplay:
+    @pytest.fixture(scope="class")
+    def telemetry(self, tmp_path_factory):
+        from repro.service.replay import run_replay_with_telemetry
+
+        out = tmp_path_factory.mktemp("telemetry")
+        report, tracer, registry = run_replay_with_telemetry(
+            ReplayConfig(**SMALL), str(out)
+        )
+        return out, report, tracer, registry
+
+    def test_all_artifacts_written(self, telemetry):
+        out, *_ = telemetry
+        for name in (
+            "spans.jsonl", "trace.json", "metrics.jsonl", "metrics.prom",
+            "replay.json",
+        ):
+            assert (out / name).exists(), name
+
+    def test_spans_validate_and_match_the_report(self, telemetry):
+        from repro.observability.telemetry import validate_request_trees
+
+        out, report, tracer, _ = telemetry
+        doc = json.loads((out / "replay.json").read_text())
+        assert doc["span_problems"] == []
+        assert validate_request_trees(tracer.spans) == []
+        trees = doc["report"]
+        assert trees["n_ok"] == report.n_ok
+        assert set(trees["tiers"]) == set(report.sources)
+
+    def test_chrome_trace_has_handoff_arrows(self, telemetry):
+        out, *_ = telemetry
+        events = json.loads((out / "trace.json").read_text())["traceEvents"]
+        flows = [e for e in events if e.get("cat") == "handoff"]
+        assert flows, "no cross-thread flow events in the trace"
+        assert {e["ph"] for e in flows} == {"s", "f"}
+
+    def test_prometheus_export_covers_the_tier_histograms(self, telemetry):
+        out, *_ = telemetry
+        text = (out / "metrics.prom").read_text()
+        assert "repro_service_requests_total" in text
+        assert "repro_service_latency_tier_memory_bucket" in text
+
+    def test_metric_names_stay_in_the_catalog(self, telemetry):
+        from repro.observability.telemetry import catalog_violations
+
+        *_, registry = telemetry
+        assert catalog_violations(registry.names()) == []
+
+    def test_observation_carries_tier_breakdown_stages(self, telemetry):
+        from repro.service.replay import replay_observation
+
+        _, report, *_ = telemetry
+        obs = replay_observation(report)
+        for src in report.sources:
+            for channel in ("p50", "p99", "share"):
+                assert f"tier/{src}/{channel}" in obs.stages
+        shares = [obs.stages[f"tier/{s}/share"][0] for s in report.sources]
+        assert sum(shares) == pytest.approx(1.0)
+        assert len(obs.timings) == min(report.n_ok, report.sample.cap)
+
+    def test_stats_and_dash_cli_render_the_artifacts(self, telemetry, capsys, tmp_path):
+        out, *_ = telemetry
+        assert service_main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "service counters" in text
+        assert "latency by tier" in text
+        assert service_main(["dash", str(out), "-o", str(tmp_path / "d.html")]) == 0
+        html = (tmp_path / "d.html").read_text()
+        assert "Latency by tier" in html
+        assert "request trees valid" in html

@@ -1,0 +1,172 @@
+"""Request telemetry through the serving stack: span propagation under load.
+
+The cross-thread contract under test: every request the front door admits
+owns exactly one ``service.request`` root span (opened on the event
+loop), every span the broker's worker thread opens parents under it, and
+the resulting tree passes the structural validator — under coalescing,
+shedding, deadline degradation, and injected faults alike.  The
+hypothesis suite drives randomized request mixes so the interleavings
+are not hand-picked.
+"""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.observability import observed
+from repro.observability.telemetry import (
+    catalog_violations,
+    request_trees,
+    validate_request_trees,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, armed
+from repro.service import FrontDoor, ScheduleBroker, ServiceRejected
+from repro.store import ScheduleStore
+
+
+def _serve(requests, *, max_workers=4, max_pending=64, max_inflight=8, store=None):
+    """Drive a batch through a fresh door under observation; return
+    (results, spans, registry)."""
+    broker = ScheduleBroker(store, max_inflight=max_inflight, retry_base_delay=0.0)
+
+    async def drive(door):
+        return await door.submit_many(requests)
+
+    with observed() as (tracer, registry):
+        with FrontDoor(broker, max_workers=max_workers, max_pending=max_pending) as door:
+            results = asyncio.run(drive(door))
+    return results, tracer.spans, registry
+
+
+class TestPropagation:
+    def test_every_request_gets_a_valid_tree(self, request_a, request_b):
+        requests = [request_a, request_b] * 4
+        results, spans, registry = _serve(requests)
+        assert all(not isinstance(r, BaseException) for r in results)
+        assert validate_request_trees(spans, expect=len(requests)) == []
+        trees = request_trees(spans)
+        assert len(trees) == len(requests)
+        assert catalog_violations(registry.names()) == []
+
+    def test_worker_spans_parent_under_the_event_loop_root(self, request_a):
+        _, spans, _ = _serve([request_a])
+        trees = request_trees(spans)
+        (tree,) = trees.values()
+        brokers = tree.named("service.broker")
+        assert len(brokers) == 1
+        assert brokers[0].parent_span_id == tree.root.span_id
+        # the handoff crossed threads: root on the loop, broker on a worker
+        assert brokers[0].tid != tree.root.tid
+
+    def test_tier_attribution_matches_the_outcome(self, request_a):
+        # same structure twice: first inspected, second from memory
+        _, spans, _ = _serve([request_a])
+        _, spans2, _ = _serve([request_a, replace(request_a)])
+        for sp, expected in ((spans, {"inspected"}), (spans2, {"inspected", "memory"})):
+            trees = request_trees(sp)
+            outcomes = {t.outcome for t in trees.values()}
+            assert outcomes <= expected | {"coalesced"}
+            for t in trees.values():
+                if t.outcome == "memory":
+                    assert t.named("service.memory")
+                if t.outcome == "inspected":
+                    assert t.named("service.inspect")
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        picks=st.lists(st.booleans(), min_size=1, max_size=10),
+        workers=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_mixes_always_validate(self, request_a, request_b, picks, workers):
+        requests = [request_a if pick else request_b for pick in picks]
+        results, spans, registry = _serve(requests, max_workers=workers)
+        assert all(not isinstance(r, BaseException) for r in results)
+        assert validate_request_trees(spans, expect=len(requests)) == []
+        assert catalog_violations(registry.names()) == []
+
+
+class TestOutcomePaths:
+    def test_shed_requests_still_close_their_root_span(self, request_a):
+        requests = [request_a] * 12
+        results, spans, registry = _serve(
+            requests, max_workers=1, max_pending=1
+        )
+        shed = sum(isinstance(r, ServiceRejected) for r in results)
+        assert shed > 0
+        assert validate_request_trees(spans, expect=len(requests)) == []
+        trees = request_trees(spans)
+        assert sum(t.outcome == "shed" for t in trees.values()) == shed
+        assert registry.counter("service.sheds.frontdoor").value == shed
+
+    def test_deadline_degradation_is_tagged(self, request_a):
+        # a microscopic budget forces the degradation chain (or a
+        # deadline miss) — both are legal, both must validate
+        tight = replace(request_a, deadline=1e-4)
+        results, spans, _ = _serve([tight])
+        assert validate_request_trees(spans, expect=1) == []
+        (tree,) = request_trees(spans).values()
+        if isinstance(results[0], BaseException):
+            assert tree.outcome == "deadline"
+        else:
+            assert tree.root.attrs.get("degraded") or tree.outcome in (
+                "inspected", "memory",
+            )
+
+    def test_worker_crash_retry_keeps_the_tree_valid(self, request_a):
+        plan = FaultPlan([FaultSpec("service.worker_crash", "raise", at=0)])
+        with armed(plan):
+            results, spans, registry = _serve([request_a])
+        assert not isinstance(results[0], BaseException)
+        assert validate_request_trees(spans, expect=1) == []
+        (tree,) = request_trees(spans).values()
+        # the crashed attempt and the successful retry both ran inside
+        # the single inspect span's window
+        assert tree.named("service.inspect")
+        assert registry.counter("service.retries").value == 1
+        assert registry.counter("resilience.faults_fired.service.worker_crash").value == 1
+        assert catalog_violations(registry.names()) == []
+
+    def test_quarantined_store_record_is_traced(self, tmp_path, request_a):
+        store = ScheduleStore(tmp_path / "store", durable=False)
+        plan = FaultPlan([FaultSpec("store.bit_flip", "corrupt", at=0)])
+        with armed(plan):
+            # first serve writes a corrupted record through the broker
+            results, _, _ = _serve([request_a], store=store)
+        assert not isinstance(results[0], BaseException)
+        # a fresh broker (cold L1) must fall back to re-inspection and
+        # quarantine the bad record, all inside a valid request tree
+        results, spans, registry = _serve([request_a], store=store)
+        assert not isinstance(results[0], BaseException)
+        assert results[0].source == "inspected"
+        assert validate_request_trees(spans, expect=1) == []
+        assert store.stats.quarantined == 1
+        assert registry.counter("store.quarantined").value == 1
+        assert registry.gauge("store.quarantine_count").value == 1
+        assert catalog_violations(registry.names()) == []
+
+
+class TestDormantPath:
+    def test_no_spans_and_no_kwarg_without_the_switch(self, request_a):
+        broker = ScheduleBroker()
+
+        async def drive(door):
+            return await door.submit(request_a)
+
+        with FrontDoor(broker, max_workers=2) as door:
+            result = asyncio.run(drive(door))
+        assert result.schedule is not None
+
+    def test_telemetry_kwarg_is_optional_for_direct_broker_calls(self, request_a):
+        broker = ScheduleBroker()
+        with observed() as (tracer, _):
+            result = broker.request(request_a)
+        assert result.source == "inspected"
+        # broker-only callers get a tree rooted at the broker span
+        assert validate_request_trees(tracer.spans) == []

@@ -180,6 +180,28 @@ def test_l008_suppression_hygiene(tmp_path):
     assert "unknown rule 'L999'" in found[1].message
 
 
+def test_l009_undeclared_metric_names(tmp_path):
+    rel = "src/repro/core/bad_metrics.py"
+    _write(tmp_path, rel, """\
+        from repro.observability.state import STATE
+
+
+        def emit(reg, label):
+            if STATE.enabled and STATE.registry is not None:
+                STATE.registry.counter("totally.undeclared").inc()
+            reg.gauge(f"{label}.depth").set(1)
+            reg.histogram(f"service.latency.tier.{label}").observe(0.5)
+            reg.counter("store.hits").inc()
+            reg.counter("perflab.adhoc.seconds").inc()
+            reg.counter(label).inc()
+    """)
+    found = _findings(tmp_path, rel, "L009")
+    assert len(found) == 2
+    assert "'totally.undeclared' is not declared" in found[0].message
+    assert "family prefix" in found[1].message
+    assert found[0].hint and "metric_catalog" in found[0].hint
+
+
 # ----------------------------------------------------------------------
 # project rules fire when the live registries drift (simulated)
 # ----------------------------------------------------------------------
